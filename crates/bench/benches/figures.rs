@@ -1,0 +1,114 @@
+//! One benchmark per paper experiment: each runs the figure's scenario at
+//! a strongly reduced scale (one seed, short air time) so the whole
+//! evaluation pipeline — topology build, protocol bootstrap, simulation,
+//! aggregation — is exercised and timed per figure. Full-scale data comes
+//! from the `comap-experiments` binaries; these benches guard their cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use comap_core::model::{DcfModel, ModelInput};
+use comap_experiments::topology;
+use comap_mac::time::SimDuration;
+use comap_mac::timing::PhyTiming;
+use comap_radio::rates::Rate;
+use comap_sim::config::MacFeatures;
+use comap_sim::sim::Simulator;
+
+const DUR: SimDuration = SimDuration::from_millis(100);
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01_et_point", |b| {
+        b.iter(|| {
+            let (cfg, ids) = topology::et_testbed(black_box(26.0), MacFeatures::DCF, 1);
+            let r = Simulator::new(cfg).run(DUR);
+            black_box(r.link_goodput_bps(ids.c1, ids.ap1))
+        })
+    });
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    c.bench_function("fig02_ht_point", |b| {
+        b.iter(|| {
+            let (cfg, ids) = topology::ht_testbed(black_box(1000), 1, MacFeatures::DCF, 1);
+            let r = Simulator::new(cfg).run(DUR);
+            black_box(r.link_goodput_bps(ids.c1, ids.ap1))
+        })
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    c.bench_function("fig07_model_eval", |b| {
+        b.iter(|| {
+            black_box(DcfModel::per_node_goodput(&ModelInput {
+                phy: PhyTiming::dsss(),
+                rate: Rate::Mbps11,
+                cw: black_box(255),
+                contenders: 4,
+                hidden: 3,
+                payload_bytes: 1000,
+                hidden_profile: None,
+            }))
+        })
+    });
+    c.bench_function("fig07_sim_cell", |b| {
+        b.iter(|| {
+            let (cfg, cell) = topology::validation_cell(5, 3, 255, 1000, 1);
+            let r = Simulator::new(cfg).run(DUR);
+            black_box(r.link_goodput_bps(cell.clients[0], cell.ap))
+        })
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    c.bench_function("fig08_comap_point", |b| {
+        b.iter(|| {
+            let (cfg, ids) = topology::et_testbed(black_box(26.0), MacFeatures::COMAP, 1);
+            let r = Simulator::new(cfg).run(DUR);
+            black_box(r.link_goodput_bps(ids.c1, ids.ap1))
+        })
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09_topology_pair", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for features in [MacFeatures::DCF, MacFeatures::COMAP] {
+                let (cfg, t) = topology::fig9_topology(black_box(4), features, 1);
+                let r = Simulator::new(cfg).run(DUR);
+                total += r.link_goodput_bps(t.c1, t.ap1);
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    c.bench_function("fig10_floor", |b| {
+        b.iter(|| {
+            let (cfg, _) = topology::large_scale(black_box(0), 1, MacFeatures::COMAP, 10.0);
+            let r = Simulator::new(cfg).run(DUR);
+            black_box(r.aggregate_goodput_bps())
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_render", |b| {
+        b.iter(|| black_box(comap_experiments::table1::build().render()))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_fig01, bench_fig02, bench_fig07, bench_fig08, bench_fig09, bench_fig10, bench_table1
+}
+criterion_main!(benches);

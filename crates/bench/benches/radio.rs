@@ -1,0 +1,94 @@
+//! Microbenchmarks of the radio math on CO-MAP's hot paths: every
+//! discovery header can trigger eq. (3) twice, so these functions bound
+//! the protocol's per-frame CPU cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use comap_radio::math::{erf, std_normal_cdf, std_normal_quantile};
+use comap_radio::pathloss::LogNormalShadowing;
+use comap_radio::prr::ReceptionModel;
+use comap_radio::units::{Db, Dbm, Meters};
+
+fn bench_math(c: &mut Criterion) {
+    c.bench_function("erf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.001;
+            if x > 4.0 {
+                x = -4.0;
+            }
+            black_box(erf(black_box(x)))
+        })
+    });
+    c.bench_function("std_normal_cdf", |b| {
+        let mut x = -6.0f64;
+        b.iter(|| {
+            x += 0.001;
+            if x > 6.0 {
+                x = -6.0;
+            }
+            black_box(std_normal_cdf(black_box(x)))
+        })
+    });
+    c.bench_function("std_normal_quantile", |b| {
+        let mut p = 0.01f64;
+        b.iter(|| {
+            p += 0.0001;
+            if p > 0.99 {
+                p = 0.01;
+            }
+            black_box(std_normal_quantile(black_box(p)))
+        })
+    });
+}
+
+fn bench_prr(c: &mut Criterion) {
+    let model = ReceptionModel::new(LogNormalShadowing::testbed(Dbm::new(0.0)), Db::new(4.0));
+    c.bench_function("prr_eq3", |b| {
+        let mut r = 1.0f64;
+        b.iter(|| {
+            r += 0.01;
+            if r > 100.0 {
+                r = 1.0;
+            }
+            black_box(model.prr(Meters::new(15.0), Meters::new(black_box(r))))
+        })
+    });
+    c.bench_function("cs_miss_eq4", |b| {
+        let mut r = 1.0f64;
+        b.iter(|| {
+            r += 0.01;
+            if r > 100.0 {
+                r = 1.0;
+            }
+            black_box(model.cs_miss_probability(Meters::new(black_box(r)), Dbm::new(-80.0)))
+        })
+    });
+    c.bench_function("interference_range", |b| {
+        b.iter(|| black_box(model.interference_range(Meters::new(black_box(15.0)), 0.75)))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("shadowing_sample", |b| {
+        b.iter(|| black_box(chan.sample_power(Meters::new(black_box(20.0)), &mut rng)))
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_math, bench_prr, bench_sampling
+}
+criterion_main!(benches);

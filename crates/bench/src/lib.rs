@@ -1,0 +1,12 @@
+//! # comap-bench — benchmark support
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `radio` — the eq. (3)/(4) math and propagation sampling,
+//! * `protocol` — co-occurrence map lookups vs. fresh validation, the
+//!   hidden-terminal census and the adaptation-table precomputation,
+//! * `simulator` — event-loop throughput on canonical cells,
+//! * `figures` — scaled-down versions of every paper experiment, so a
+//!   regression in any scenario's runtime is caught.
+
+#![forbid(unsafe_code)]

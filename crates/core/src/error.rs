@@ -1,0 +1,54 @@
+//! Error type of the CO-MAP protocol.
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a CO-MAP computation cannot proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoMapError<A> {
+    /// A node involved in the query has never reported a position.
+    UnknownNeighbor(A),
+    /// This node has not set its own position yet.
+    OwnPositionUnknown,
+    /// The query names this node as its own neighbor/peer.
+    SelfReference(A),
+}
+
+impl<A: fmt::Debug> fmt::Display for CoMapError<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoMapError::UnknownNeighbor(a) => {
+                write!(f, "no position known for neighbor {a:?}")
+            }
+            CoMapError::OwnPositionUnknown => {
+                write!(f, "own position has not been set")
+            }
+            CoMapError::SelfReference(a) => {
+                write!(f, "node {a:?} referenced as its own peer")
+            }
+        }
+    }
+}
+
+impl<A: fmt::Debug> Error for CoMapError<A> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        let e: CoMapError<&str> = CoMapError::UnknownNeighbor("C7");
+        assert!(e.to_string().contains("C7"));
+        let e: CoMapError<&str> = CoMapError::OwnPositionUnknown;
+        assert!(e.to_string().contains("own position"));
+        let e: CoMapError<&str> = CoMapError::SelfReference("C1");
+        assert!(e.to_string().contains("C1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoMapError<u32>>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Hidden-terminal census (paper Section IV-D1).
+//!
+//! For a link `S → R`, a neighbor is a **potential hidden terminal** when
+//! it satisfies both conditions:
+//!
+//! 1. it lies inside the link's *interference range* — a concurrent
+//!    transmission from it would drive the link's PRR (eq. 3) below a
+//!    threshold, and
+//! 2. it (probably) cannot carrier-sense `S`: by eq. (4),
+//!    `Pr{P_r < T_cs} > 90 %`.
+//!
+//! Neighbors that *can* sense `S` and interfere are **contenders** — they
+//! share the channel through CSMA rather than colliding blindly. Both
+//! counts feed the analytical model's `(h, c)` lookup.
+
+use comap_radio::prr::ReceptionModel;
+use comap_radio::units::Dbm;
+use comap_radio::Position;
+
+use crate::neighbor::NeighborTable;
+use crate::Addr;
+
+/// How a neighbor relates to a given link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborClass {
+    /// Interferes with the link and cannot sense its sender: collides
+    /// blindly.
+    Hidden,
+    /// Interferes (or shares airtime) but defers via carrier sense.
+    Contender,
+    /// Too far to matter: concurrent transmissions are harmless.
+    Independent,
+}
+
+/// The censused neighborhood of one link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtCensus<A> {
+    /// Potential hidden terminals (paper's `N_ht`).
+    pub hidden: Vec<A>,
+    /// Contending nodes visible to carrier sense (paper's `c`).
+    pub contenders: Vec<A>,
+    /// Neighbors with no impact on the link.
+    pub independent: Vec<A>,
+}
+
+impl<A> HtCensus<A> {
+    /// `N_ht`, the count the adaptation table is indexed by.
+    pub fn n_ht(&self) -> usize {
+        self.hidden.len()
+    }
+
+    /// `c`, the number of contending nodes.
+    pub fn n_contenders(&self) -> usize {
+        self.contenders.len()
+    }
+}
+
+/// Census engine bundling the thresholds of Section IV-D1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HtCensusEngine {
+    reception: ReceptionModel,
+    t_cs: Dbm,
+    /// PRR threshold defining "interferes with the link".
+    interference_prr: f64,
+    /// CS-miss probability above which a node counts as hidden (90 %).
+    miss_probability: f64,
+}
+
+impl HtCensusEngine {
+    /// Creates a census engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities are in `(0, 1)`.
+    pub fn new(
+        reception: ReceptionModel,
+        t_cs: Dbm,
+        interference_prr: f64,
+        miss_probability: f64,
+    ) -> Self {
+        assert!(
+            interference_prr > 0.0 && interference_prr < 1.0,
+            "interference PRR threshold must be in (0, 1)"
+        );
+        assert!(
+            miss_probability > 0.0 && miss_probability < 1.0,
+            "miss probability must be in (0, 1)"
+        );
+        HtCensusEngine { reception, t_cs, interference_prr, miss_probability }
+    }
+
+    /// Classifies a single neighbor with respect to the link `s → r`.
+    pub fn classify(&self, s: Position, r: Position, neighbor: Position) -> NeighborClass {
+        let d = s.distance_to(r);
+        let eps = self.reception.channel().reference_distance();
+        let interferer_dist = neighbor.distance_to(r).max(eps);
+        let interferes = self.reception.prr(d, interferer_dist) < self.interference_prr;
+        let sense_dist = neighbor.distance_to(s).max(eps);
+        let senses = self.reception.cs_miss_probability(sense_dist, self.t_cs) <= self.miss_probability;
+        match (interferes, senses) {
+            (true, false) => NeighborClass::Hidden,
+            (_, true) => NeighborClass::Contender,
+            (false, false) => NeighborClass::Independent,
+        }
+    }
+
+    /// Runs the census of the link `s → r` over a neighbor table,
+    /// excluding the link's own endpoints.
+    pub fn census<A: Addr>(
+        &self,
+        table: &NeighborTable<A>,
+        s_addr: A,
+        s: Position,
+        r_addr: A,
+        r: Position,
+    ) -> HtCensus<A> {
+        let mut census =
+            HtCensus { hidden: Vec::new(), contenders: Vec::new(), independent: Vec::new() };
+        for (addr, entry) in table.iter() {
+            if addr == s_addr || addr == r_addr {
+                continue;
+            }
+            match self.classify(s, r, entry.position) {
+                NeighborClass::Hidden => census.hidden.push(addr),
+                NeighborClass::Contender => census.contenders.push(addr),
+                NeighborClass::Independent => census.independent.push(addr),
+            }
+        }
+        census
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MobilityConfig, ProtocolConfig};
+
+    fn engine() -> HtCensusEngine {
+        let cfg = ProtocolConfig::testbed();
+        HtCensusEngine::new(
+            cfg.reception(),
+            cfg.t_cs,
+            cfg.census_interference_prr,
+            cfg.ht_miss_probability,
+        )
+    }
+
+    #[test]
+    fn nearby_node_is_a_contender() {
+        // 10 m from the sender: surely senses it, counted as contender.
+        let e = engine();
+        let class = e.classify(
+            Position::new(0.0, 0.0),
+            Position::new(15.0, 0.0),
+            Position::new(10.0, 0.0),
+        );
+        assert_eq!(class, NeighborClass::Contender);
+    }
+
+    #[test]
+    fn paper_fig2_geometry_is_hidden() {
+        // C1 at 0, AP1 at 15 m, C2 at 37 m: C2 cannot sense C1 (37 m is
+        // beyond the ~28 m mean CS range) but its signal corrupts AP1
+        // (22 m from AP1, close to the 15 m link length).
+        let e = engine();
+        let class = e.classify(
+            Position::new(0.0, 0.0),
+            Position::new(15.0, 0.0),
+            Position::new(37.0, 0.0),
+        );
+        assert_eq!(class, NeighborClass::Hidden);
+    }
+
+    #[test]
+    fn remote_node_is_independent() {
+        let e = engine();
+        let class = e.classify(
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(400.0, 0.0),
+        );
+        assert_eq!(class, NeighborClass::Independent);
+    }
+
+    #[test]
+    fn census_excludes_link_endpoints() {
+        let e = engine();
+        let mut t = NeighborTable::new(MobilityConfig::default());
+        t.insert("S", Position::new(0.0, 0.0));
+        t.insert("R", Position::new(15.0, 0.0));
+        t.insert("H", Position::new(37.0, 0.0));
+        t.insert("C", Position::new(10.0, 0.0));
+        t.insert("I", Position::new(400.0, 0.0));
+        let census =
+            e.census(&t, "S", Position::new(0.0, 0.0), "R", Position::new(15.0, 0.0));
+        assert_eq!(census.hidden, vec!["H"]);
+        assert_eq!(census.contenders, vec!["C"]);
+        assert_eq!(census.independent, vec!["I"]);
+        assert_eq!(census.n_ht(), 1);
+        assert_eq!(census.n_contenders(), 1);
+    }
+
+    #[test]
+    fn class_transitions_with_distance_are_ordered() {
+        // Sweeping a neighbor away from the sender along the link axis:
+        // contender region, then hidden region, then independent.
+        let e = engine();
+        let s = Position::new(0.0, 0.0);
+        let r = Position::new(15.0, 0.0);
+        let mut seen = Vec::new();
+        for x in (16..500).step_by(2) {
+            let class = e.classify(s, r, Position::new(x as f64, 0.0));
+            if seen.last() != Some(&class) {
+                seen.push(class);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![NeighborClass::Contender, NeighborClass::Hidden, NeighborClass::Independent]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn thresholds_are_validated() {
+        let cfg = ProtocolConfig::testbed();
+        let _ = HtCensusEngine::new(cfg.reception(), cfg.t_cs, 0.95, 1.5);
+    }
+}

@@ -1,0 +1,127 @@
+//! Location sharing (paper Section IV-A and Section V).
+//!
+//! Clients report their positions to their AP; APs piggyback the reports
+//! onto ordinary traffic so that every node learns its 2-hop
+//! neighborhood. [`LocationService`] implements the *sender* side: it
+//! decides when a movement is large enough to justify a fresh report
+//! (the mobility-management rule) and counts the reports issued, which is
+//! the protocol's entire communication overhead.
+
+use comap_radio::units::Meters;
+use comap_radio::Position;
+
+use crate::config::MobilityConfig;
+
+/// Decides when this node's own position must be re-broadcast.
+///
+/// ```rust
+/// use comap_core::{LocationService, MobilityConfig};
+/// use comap_radio::{Position, units::Meters};
+///
+/// let policy = MobilityConfig::for_tolerated_inaccuracy(Meters::new(10.0));
+/// let mut svc = LocationService::new(policy);
+/// assert!(svc.observe(Position::new(0.0, 0.0)).is_some()); // first fix
+/// assert!(svc.observe(Position::new(2.0, 0.0)).is_none()); // < 5 m: quiet
+/// assert!(svc.observe(Position::new(7.0, 0.0)).is_some()); // > 5 m: report
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationService {
+    policy: MobilityConfig,
+    last_reported: Option<Position>,
+    reports: u64,
+    suppressed: u64,
+}
+
+impl LocationService {
+    /// Creates a service that has not yet obtained a position fix.
+    pub fn new(policy: MobilityConfig) -> Self {
+        LocationService { policy, last_reported: None, reports: 0, suppressed: 0 }
+    }
+
+    /// Feeds a new localization fix. Returns `Some(position)` when the fix
+    /// should be reported to the AP (first fix, or moved beyond the
+    /// threshold), `None` when it is absorbed.
+    pub fn observe(&mut self, fix: Position) -> Option<Position> {
+        let must_report = match self.last_reported {
+            None => true,
+            Some(prev) => {
+                fix.distance_to(prev).value() > self.policy.update_threshold.value()
+            }
+        };
+        if must_report {
+            self.last_reported = Some(fix);
+            self.reports += 1;
+            Some(fix)
+        } else {
+            self.suppressed += 1;
+            None
+        }
+    }
+
+    /// The last position actually reported.
+    pub fn last_reported(&self) -> Option<Position> {
+        self.last_reported
+    }
+
+    /// `(reports sent, fixes suppressed)` — the overhead counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.reports, self.suppressed)
+    }
+
+    /// The movement threshold in force.
+    pub fn threshold(&self) -> Meters {
+        self.policy.update_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> LocationService {
+        LocationService::new(MobilityConfig::for_tolerated_inaccuracy(Meters::new(10.0)))
+    }
+
+    #[test]
+    fn first_fix_is_always_reported() {
+        let mut s = service();
+        assert_eq!(s.observe(Position::new(1.0, 1.0)), Some(Position::new(1.0, 1.0)));
+        assert_eq!(s.stats(), (1, 0));
+    }
+
+    #[test]
+    fn jitter_is_suppressed() {
+        let mut s = service();
+        s.observe(Position::ORIGIN);
+        for i in 0..10 {
+            let wiggle = Position::new((i % 3) as f64, (i % 2) as f64);
+            assert_eq!(s.observe(wiggle), None);
+        }
+        assert_eq!(s.stats(), (1, 10));
+        assert_eq!(s.last_reported(), Some(Position::ORIGIN));
+    }
+
+    #[test]
+    fn long_walks_report_per_threshold_crossing() {
+        // Walk 25 m in 1 m steps with a 5 m threshold: the first fix plus
+        // a report each time the accumulated displacement exceeds 5 m.
+        let mut s = service();
+        let mut reports = 0;
+        for x in 0..=25 {
+            if s.observe(Position::new(x as f64, 0.0)).is_some() {
+                reports += 1;
+            }
+        }
+        assert_eq!(reports, 1 + 4, "1 initial + 4 threshold crossings (6,12,18,24)");
+    }
+
+    #[test]
+    fn report_updates_reference_point() {
+        let mut s = service();
+        s.observe(Position::ORIGIN);
+        s.observe(Position::new(6.0, 0.0));
+        // Moving back within 5 m of the new reference stays quiet.
+        assert_eq!(s.observe(Position::new(2.0, 0.0)), None);
+        assert_eq!(s.last_reported(), Some(Position::new(6.0, 0.0)));
+    }
+}

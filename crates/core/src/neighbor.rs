@@ -1,0 +1,211 @@
+//! The neighbor table: positions of nodes within two hops.
+//!
+//! Every node reports its position to its associated AP; APs disseminate
+//! the reports, so each node learns the coordinates of its relative
+//! neighbors "within 2-hop" (paper Fig. 3 and Section V). The table also
+//! implements the paper's mobility-management rule: an update that moves a
+//! neighbor by less than the configured threshold is absorbed without
+//! signalling a change, so downstream caches are not needlessly
+//! invalidated.
+
+use std::collections::BTreeMap;
+
+use comap_radio::units::Meters;
+use comap_radio::Position;
+
+use crate::config::MobilityConfig;
+use crate::Addr;
+
+/// One row of the neighbor table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborEntry {
+    /// Last accepted position.
+    pub position: Position,
+    /// How many position reports were accepted for this neighbor.
+    pub updates: u64,
+}
+
+/// A node's view of the positions of its 2-hop neighborhood.
+///
+/// ```rust
+/// use comap_core::{NeighborTable, MobilityConfig};
+/// use comap_radio::Position;
+///
+/// let mut t = NeighborTable::new(MobilityConfig::default());
+/// assert!(t.update("C2", Position::new(4.0, -10.0)));
+/// // A 1 m wiggle is below the default 5 m threshold: absorbed.
+/// assert!(!t.update("C2", Position::new(4.5, -10.0)));
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable<A: Addr> {
+    entries: BTreeMap<A, NeighborEntry>,
+    mobility: MobilityConfig,
+}
+
+impl<A: Addr> NeighborTable<A> {
+    /// Creates an empty table with the given mobility policy.
+    pub fn new(mobility: MobilityConfig) -> Self {
+        NeighborTable { entries: BTreeMap::new(), mobility }
+    }
+
+    /// Records a position report. Returns `true` when the table content
+    /// *changed* — a new neighbor, or a move beyond the mobility
+    /// threshold — so the caller knows to invalidate derived state.
+    pub fn update(&mut self, addr: A, position: Position) -> bool {
+        match self.entries.get_mut(&addr) {
+            None => {
+                self.entries.insert(addr, NeighborEntry { position, updates: 1 });
+                true
+            }
+            Some(entry) => {
+                let moved = entry.position.distance_to(position);
+                if moved.value() > self.mobility.update_threshold.value() {
+                    entry.position = position;
+                    entry.updates += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Forces a position in, bypassing the movement threshold (used when
+    /// bootstrapping from a topology description).
+    pub fn insert(&mut self, addr: A, position: Position) {
+        self.entries
+            .entry(addr)
+            .and_modify(|e| {
+                e.position = position;
+                e.updates += 1;
+            })
+            .or_insert(NeighborEntry { position, updates: 1 });
+    }
+
+    /// Drops a neighbor (e.g. on disassociation).
+    pub fn remove(&mut self, addr: A) -> Option<NeighborEntry> {
+        self.entries.remove(&addr)
+    }
+
+    /// The last accepted position of `addr`, if known.
+    pub fn position(&self, addr: A) -> Option<Position> {
+        self.entries.get(&addr).map(|e| e.position)
+    }
+
+    /// Distance between two known neighbors.
+    pub fn distance(&self, a: A, b: A) -> Option<Meters> {
+        Some(self.position(a)?.distance_to(self.position(b)?))
+    }
+
+    /// Number of known neighbors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no neighbor has reported yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `addr` is in the table.
+    pub fn contains(&self, addr: A) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// Iterates over `(addr, entry)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (A, &NeighborEntry)> + '_ {
+        self.entries.iter().map(|(a, e)| (*a, e))
+    }
+
+    /// Addresses of all known neighbors, in order.
+    pub fn addrs(&self) -> impl Iterator<Item = A> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// The mobility policy in force.
+    pub fn mobility(&self) -> MobilityConfig {
+        self.mobility
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NeighborTable<&'static str> {
+        NeighborTable::new(MobilityConfig::for_tolerated_inaccuracy(Meters::new(10.0)))
+    }
+
+    #[test]
+    fn first_report_always_changes() {
+        let mut t = table();
+        assert!(t.update("C0", Position::ORIGIN));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.position("C0"), Some(Position::ORIGIN));
+    }
+
+    #[test]
+    fn small_moves_are_absorbed() {
+        let mut t = table();
+        t.update("C0", Position::ORIGIN);
+        assert!(!t.update("C0", Position::new(3.0, 0.0)));
+        // Position stays at the previously accepted value.
+        assert_eq!(t.position("C0"), Some(Position::ORIGIN));
+    }
+
+    #[test]
+    fn large_moves_are_applied() {
+        let mut t = table();
+        t.update("C0", Position::ORIGIN);
+        assert!(t.update("C0", Position::new(6.0, 0.0)));
+        assert_eq!(t.position("C0"), Some(Position::new(6.0, 0.0)));
+    }
+
+    #[test]
+    fn absorbed_moves_do_not_accumulate_silently_forever() {
+        // Repeated sub-threshold reports relative to the *accepted*
+        // position eventually cross the threshold and are applied.
+        let mut t = table();
+        t.update("C0", Position::ORIGIN);
+        assert!(!t.update("C0", Position::new(4.0, 0.0)));
+        assert!(t.update("C0", Position::new(8.0, 0.0)));
+    }
+
+    #[test]
+    fn insert_bypasses_threshold() {
+        let mut t = table();
+        t.insert("C0", Position::ORIGIN);
+        t.insert("C0", Position::new(1.0, 0.0));
+        assert_eq!(t.position("C0"), Some(Position::new(1.0, 0.0)));
+        assert_eq!(t.entries.get("C0").unwrap().updates, 2);
+    }
+
+    #[test]
+    fn distance_between_neighbors() {
+        let mut t = table();
+        t.insert("A", Position::ORIGIN);
+        t.insert("B", Position::new(3.0, 4.0));
+        assert_eq!(t.distance("A", "B"), Some(Meters::new(5.0)));
+        assert_eq!(t.distance("A", "Z"), None);
+    }
+
+    #[test]
+    fn remove_forgets_neighbor() {
+        let mut t = table();
+        t.insert("A", Position::ORIGIN);
+        assert!(t.remove("A").is_some());
+        assert!(t.is_empty());
+        assert!(!t.contains("A"));
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut t = table();
+        t.insert("C", Position::ORIGIN);
+        t.insert("A", Position::ORIGIN);
+        t.insert("B", Position::ORIGIN);
+        let order: Vec<_> = t.addrs().collect();
+        assert_eq!(order, vec!["A", "B", "C"]);
+    }
+}

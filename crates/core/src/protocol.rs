@@ -1,0 +1,340 @@
+//! The CO-MAP protocol façade.
+//!
+//! [`Protocol`] is the per-node object tying the pipeline of paper Fig. 5
+//! together: position reports flow into the [`NeighborTable`], concurrency
+//! queries flow through the [`CoOccurrenceMap`] cache backed by eq.-(3)
+//! validation, and transmission parameters come from the hidden-terminal
+//! census plus the precomputed [`AdaptationTable`].
+
+use comap_radio::units::Dbm;
+use comap_radio::Position;
+
+use crate::adapt::{AdaptationTable, TxSetting};
+use crate::config::ProtocolConfig;
+use crate::cooccurrence::CoOccurrenceMap;
+use crate::error::CoMapError;
+use crate::hidden::{HtCensus, HtCensusEngine};
+use crate::location::LocationService;
+use crate::neighbor::NeighborTable;
+use crate::scheduler::EtScheduler;
+use crate::validate::{ConcurrencyDecision, ConcurrencyValidator};
+use crate::{Addr, Link};
+
+/// Default table extents: the paper's Fig. 7 explores up to 5 HTs; we
+/// precompute a margin beyond that.
+const TABLE_MAX_HIDDEN: usize = 8;
+const TABLE_MAX_CONTENDERS: usize = 8;
+
+/// Per-node CO-MAP state and decision logic.
+///
+/// See the crate-level example for the typical flow.
+#[derive(Debug, Clone)]
+pub struct Protocol<A: Addr> {
+    addr: A,
+    config: ProtocolConfig,
+    own_position: Option<Position>,
+    neighbors: NeighborTable<A>,
+    map: CoOccurrenceMap<A>,
+    validator: ConcurrencyValidator,
+    census: HtCensusEngine,
+    adaptation: AdaptationTable,
+    location: LocationService,
+}
+
+impl<A: Addr> Protocol<A> {
+    /// Creates the protocol instance for node `addr`, precomputing the
+    /// adaptation table for the configured PHY and model rate.
+    pub fn new(addr: A, config: ProtocolConfig) -> Self {
+        let reception = config.reception();
+        Protocol {
+            addr,
+            config,
+            own_position: None,
+            neighbors: NeighborTable::new(config.mobility),
+            map: CoOccurrenceMap::new(),
+            validator: ConcurrencyValidator::new(reception, config.t_prr),
+            census: HtCensusEngine::new(
+                reception,
+                config.t_cs,
+                config.census_interference_prr,
+                config.ht_miss_probability,
+            ),
+            adaptation: AdaptationTable::precompute_with(
+                config.phy,
+                config.model_rate,
+                TABLE_MAX_HIDDEN,
+                TABLE_MAX_CONTENDERS,
+                config.max_adapted_payload,
+                Some(config.hidden_profile),
+                if config.adapt_cw { &crate::adapt::CW_CANDIDATES } else { &[31] },
+            ),
+            location: LocationService::new(config.mobility),
+        }
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> A {
+        self.addr
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Sets this node's own position unconditionally (bootstrap).
+    pub fn set_own_position(&mut self, position: Position) {
+        self.own_position = Some(position);
+        self.location.observe(position);
+        // Our own geometry underlies every cached verdict.
+        self.map.clear();
+    }
+
+    /// Feeds a localization fix through the mobility-management policy.
+    /// Returns the position to broadcast when a report is due.
+    pub fn observe_position(&mut self, fix: Position) -> Option<Position> {
+        let report = self.location.observe(fix)?;
+        self.own_position = Some(report);
+        self.map.clear();
+        Some(report)
+    }
+
+    /// This node's current position, if known.
+    pub fn own_position(&self) -> Option<Position> {
+        self.own_position
+    }
+
+    /// Ingests a neighbor's position report. Returns `true` when the
+    /// neighborhood actually changed (and dependent caches were
+    /// invalidated).
+    pub fn on_position_report(&mut self, addr: A, position: Position) -> bool {
+        if addr == self.addr {
+            self.set_own_position(position);
+            return true;
+        }
+        let changed = self.neighbors.update(addr, position);
+        if changed {
+            self.map.invalidate_involving(addr);
+        }
+        changed
+    }
+
+    /// Full eq.-(3) validation of "may I transmit to `receiver` while
+    /// `ongoing` is on the air", bypassing the cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any involved position is unknown or the query references
+    /// this node as part of the ongoing link.
+    pub fn concurrency_decision(
+        &self,
+        ongoing: Link<A>,
+        receiver: A,
+    ) -> Result<ConcurrencyDecision, CoMapError<A>> {
+        let me = self.own_position.ok_or(CoMapError::OwnPositionUnknown)?;
+        let (src, dst) = ongoing;
+        if src == self.addr || dst == self.addr {
+            return Err(CoMapError::SelfReference(self.addr));
+        }
+        let rx = self.neighbor_position(receiver)?;
+        let src_pos = self.neighbor_position(src)?;
+        let dst_pos = self.neighbor_position(dst)?;
+        Ok(self.validator.validate(me, rx, src_pos, dst_pos))
+    }
+
+    /// Cached concurrency check — the hot path a MAC calls on every
+    /// discovery header. Consults the co-occurrence map first and falls
+    /// back to computation, recording the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::concurrency_decision`].
+    pub fn concurrency_allowed(
+        &mut self,
+        ongoing: Link<A>,
+        receiver: A,
+    ) -> Result<bool, CoMapError<A>> {
+        if let Some(cached) = self.map.lookup(ongoing, receiver) {
+            return Ok(cached);
+        }
+        let allowed = self.concurrency_decision(ongoing, receiver)?.allowed();
+        self.map.record(ongoing, receiver, allowed);
+        Ok(allowed)
+    }
+
+    /// Hidden-terminal census for the link `self → receiver`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when positions are missing.
+    pub fn ht_census(&self, receiver: A) -> Result<HtCensus<A>, CoMapError<A>> {
+        let me = self.own_position.ok_or(CoMapError::OwnPositionUnknown)?;
+        let rx = self.neighbor_position(receiver)?;
+        Ok(self.census.census(&self.neighbors, self.addr, me, receiver, rx))
+    }
+
+    /// The transmission parameters CO-MAP installs for the link
+    /// `self → receiver`: the adaptation-table entry for the censused
+    /// `(N_ht, c)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when positions are missing.
+    pub fn tx_setting(&self, receiver: A) -> Result<TxSetting, CoMapError<A>> {
+        let census = self.ht_census(receiver)?;
+        Ok(self.adaptation.setting(census.n_ht(), census.n_contenders()))
+    }
+
+    /// Records the observed outcome of a *concurrent* transmission: a
+    /// success confirms the cached verdict, a failure blacklists the
+    /// (ongoing link, receiver) pair. With static (per-link) shadowing a
+    /// geometry that the mean-field eq. (3) admits can be persistently
+    /// bad; feeding MAC outcomes back into the co-occurrence map stops
+    /// the protocol from re-trying such pairs forever.
+    pub fn record_concurrency_outcome(&mut self, ongoing: Link<A>, receiver: A, success: bool) {
+        self.map.record(ongoing, receiver, success);
+    }
+
+    /// Arms the enhanced-scheduling RSSI watchdog with the power observed
+    /// at discovery time.
+    pub fn arm_scheduler(&self, rssi1: Dbm) -> EtScheduler {
+        EtScheduler::arm(rssi1, self.config.t_cs_delta)
+    }
+
+    /// Read access to the neighbor table.
+    pub fn neighbors(&self) -> &NeighborTable<A> {
+        &self.neighbors
+    }
+
+    /// Read access to the co-occurrence map.
+    pub fn cooccurrence(&self) -> &CoOccurrenceMap<A> {
+        &self.map
+    }
+
+    /// Read access to the adaptation table.
+    pub fn adaptation(&self) -> &AdaptationTable {
+        &self.adaptation
+    }
+
+    /// `(reports, suppressed)` counters of the location service.
+    pub fn location_stats(&self) -> (u64, u64) {
+        self.location.stats()
+    }
+
+    fn neighbor_position(&self, addr: A) -> Result<Position, CoMapError<A>> {
+        if addr == self.addr {
+            return self.own_position.ok_or(CoMapError::OwnPositionUnknown);
+        }
+        self.neighbors.position(addr).ok_or(CoMapError::UnknownNeighbor(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 3 example network, scaled so the distances suit the
+    /// testbed channel: C2 → AP0 ongoing on the left, C11 → AP1 candidate
+    /// on the right, C1 close to AP0.
+    fn fig3() -> Protocol<&'static str> {
+        let mut p = Protocol::new("C11", ProtocolConfig::testbed());
+        p.set_own_position(Position::new(6.0, 0.0));
+        p.on_position_report("AP1", Position::new(10.0, 0.0));
+        p.on_position_report("C2", Position::new(-30.0, 0.0));
+        p.on_position_report("AP0", Position::new(-34.0, 0.0));
+        p.on_position_report("C1", Position::new(-33.0, 2.0));
+        p
+    }
+
+    #[test]
+    fn fig3_c11_can_ride_alongside_c2() {
+        let mut p = fig3();
+        assert!(p.concurrency_allowed(("C2", "AP0"), "AP1").unwrap());
+        // Second query hits the cache.
+        assert!(p.concurrency_allowed(("C2", "AP0"), "AP1").unwrap());
+        let (hits, misses) = p.cooccurrence().stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn missing_positions_error_cleanly() {
+        let mut p: Protocol<&str> = Protocol::new("X", ProtocolConfig::testbed());
+        assert_eq!(
+            p.concurrency_allowed(("A", "B"), "C"),
+            Err(CoMapError::OwnPositionUnknown)
+        );
+        p.set_own_position(Position::ORIGIN);
+        assert_eq!(
+            p.concurrency_allowed(("A", "B"), "C"),
+            Err(CoMapError::UnknownNeighbor("C"))
+        );
+    }
+
+    #[test]
+    fn own_link_is_rejected_as_ongoing() {
+        let mut p = fig3();
+        assert_eq!(
+            p.concurrency_allowed(("C11", "AP1"), "AP1"),
+            Err(CoMapError::SelfReference("C11"))
+        );
+    }
+
+    #[test]
+    fn neighbor_motion_invalidates_cache() {
+        let mut p = fig3();
+        assert!(p.concurrency_allowed(("C2", "AP0"), "AP1").unwrap());
+        assert_eq!(p.cooccurrence().len(), 1);
+        // C2 walks 20 m: every cached verdict involving it must go.
+        assert!(p.on_position_report("C2", Position::new(-10.0, 0.0)));
+        assert_eq!(p.cooccurrence().len(), 0);
+    }
+
+    #[test]
+    fn sub_threshold_motion_keeps_cache() {
+        let mut p = fig3();
+        let _ = p.concurrency_allowed(("C2", "AP0"), "AP1").unwrap();
+        assert!(!p.on_position_report("C2", Position::new(-29.0, 0.0)));
+        assert_eq!(p.cooccurrence().len(), 1);
+    }
+
+    #[test]
+    fn own_motion_clears_cache() {
+        let mut p = fig3();
+        let _ = p.concurrency_allowed(("C2", "AP0"), "AP1").unwrap();
+        p.set_own_position(Position::new(7.0, 0.0));
+        assert!(p.cooccurrence().is_empty());
+    }
+
+    #[test]
+    fn census_and_setting_flow() {
+        // A 20 m link with a node 42 m from the sender (past the ~36 m
+        // 90 %-miss boundary) and 22 m from the receiver (inside the
+        // interference range of a 20 m link): a textbook hidden terminal.
+        let mut p = Protocol::new("me", ProtocolConfig::testbed());
+        p.set_own_position(Position::new(0.0, 0.0));
+        p.on_position_report("AP", Position::new(20.0, 0.0));
+        p.on_position_report("H", Position::new(42.0, 0.0));
+        let census = p.ht_census("AP").unwrap();
+        assert_eq!(census.hidden, vec!["H"], "census = {census:?}");
+        let setting = p.tx_setting("AP").unwrap();
+        let calm = p.adaptation().setting(0, census.n_contenders());
+        assert!(setting.payload_bytes <= calm.payload_bytes);
+    }
+
+    #[test]
+    fn position_report_about_self_sets_own() {
+        let mut p: Protocol<&str> = Protocol::new("me", ProtocolConfig::testbed());
+        assert!(p.on_position_report("me", Position::new(1.0, 2.0)));
+        assert_eq!(p.own_position(), Some(Position::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn observe_position_respects_threshold() {
+        let mut p: Protocol<&str> = Protocol::new("me", ProtocolConfig::testbed());
+        assert!(p.observe_position(Position::ORIGIN).is_some());
+        assert!(p.observe_position(Position::new(1.0, 0.0)).is_none());
+        assert_eq!(p.own_position(), Some(Position::ORIGIN));
+        assert!(p.observe_position(Position::new(9.0, 0.0)).is_some());
+        assert_eq!(p.location_stats().0, 2);
+    }
+}

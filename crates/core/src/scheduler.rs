@@ -1,0 +1,139 @@
+//! Enhanced scheduling among multiple exposed terminals
+//! (paper Section IV-C3, Fig. 6).
+//!
+//! Several ETs may pass concurrency validation against the same ongoing
+//! transmission; letting them all fire would collide *with each other*.
+//! CO-MAP's rule keeps the DCF backoff race but changes what "busy" means:
+//!
+//! 1. On discovering the ongoing transmission, an ET records the current
+//!    received power `RSSI₁` and **resumes** its backoff instead of
+//!    freezing.
+//! 2. While counting down it keeps measuring `RSSI₂`. If
+//!    `RSSI₂ ≥ RSSI₁ + T'_cs` — the ambient power rose by at least one
+//!    carrier-sense-level signal — another ET has already claimed the
+//!    concurrency opportunity, and the node abandons it.
+//! 3. Otherwise it transmits when its counter expires.
+//!
+//! `T'_cs` is the CCA threshold with the noise floor removed (Table I:
+//! −80.14 dBm for `T_cs = −80 dBm`), because the delta of two RSSI
+//! readings cancels the floor. The comparison happens in linear
+//! milliwatts: power sums, not dB values.
+
+use comap_radio::units::{Dbm, MilliWatts};
+
+/// What the ET should do after an RSSI observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtAction {
+    /// Keep counting down toward the concurrent transmission.
+    Continue,
+    /// Another exposed terminal fired first: abandon the opportunity and
+    /// fall back to ordinary deference.
+    Abandon,
+}
+
+/// The RSSI-delta watchdog an ET runs during its (resumed) backoff.
+///
+/// ```rust
+/// use comap_core::{EtAction, EtScheduler};
+/// use comap_radio::units::Dbm;
+///
+/// let sched = EtScheduler::arm(Dbm::new(-62.0), Dbm::new(-80.14));
+/// // Ambient power unchanged: keep going.
+/// assert_eq!(sched.on_rssi(Dbm::new(-62.0)), EtAction::Continue);
+/// // A second ET's −70 dBm signal lands on top: abandon.
+/// assert_eq!(sched.on_rssi(Dbm::new(-61.0)), EtAction::Abandon);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EtScheduler {
+    rssi1: MilliWatts,
+    threshold: MilliWatts,
+}
+
+impl EtScheduler {
+    /// Arms the watchdog with the power observed at discovery time
+    /// (`RSSI₁`) and the noise-free CCA threshold `T'_cs`.
+    pub fn arm(rssi1: Dbm, t_cs_delta: Dbm) -> Self {
+        EtScheduler {
+            rssi1: rssi1.to_milliwatts(),
+            threshold: t_cs_delta.to_milliwatts(),
+        }
+    }
+
+    /// Evaluates one RSSI reading against the abandon rule.
+    pub fn on_rssi(&self, rssi2: Dbm) -> EtAction {
+        let delta = rssi2.to_milliwatts() - self.rssi1;
+        if delta.value() >= self.threshold.value() {
+            EtAction::Abandon
+        } else {
+            EtAction::Continue
+        }
+    }
+
+    /// The armed reference power `RSSI₁`.
+    pub fn rssi1(&self) -> Dbm {
+        self.rssi1.to_dbm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comap_radio::units::Db;
+
+    const T_CS_DELTA: Dbm = Dbm::new(-80.14);
+
+    #[test]
+    fn steady_rssi_continues() {
+        let s = EtScheduler::arm(Dbm::new(-60.0), T_CS_DELTA);
+        assert_eq!(s.on_rssi(Dbm::new(-60.0)), EtAction::Continue);
+        // Small fades below RSSI1 are also fine.
+        assert_eq!(s.on_rssi(Dbm::new(-63.0)), EtAction::Continue);
+    }
+
+    #[test]
+    fn a_second_strong_et_triggers_abandon() {
+        // RSSI1 = −60 dBm; a −70 dBm second signal adds ~0.1 µW — far over
+        // the 9.7 pW threshold at T'_cs = −80.14 dBm.
+        let s = EtScheduler::arm(Dbm::new(-60.0), T_CS_DELTA);
+        let combined = (Dbm::new(-60.0).to_milliwatts() + Dbm::new(-70.0).to_milliwatts()).to_dbm();
+        assert_eq!(s.on_rssi(combined), EtAction::Abandon);
+    }
+
+    #[test]
+    fn a_sub_threshold_whisper_is_ignored() {
+        // A −95 dBm addition stays below the −80.14 dBm delta threshold.
+        let s = EtScheduler::arm(Dbm::new(-60.0), T_CS_DELTA);
+        let combined = (Dbm::new(-60.0).to_milliwatts() + Dbm::new(-95.0).to_milliwatts()).to_dbm();
+        assert_eq!(s.on_rssi(combined), EtAction::Continue);
+    }
+
+    #[test]
+    fn threshold_boundary_triggers() {
+        // Just above the threshold (a hair over to dodge the dBm↔mW
+        // round-trip rounding) must abandon; just below must continue.
+        let s = EtScheduler::arm(Dbm::new(-60.0), T_CS_DELTA);
+        let base = Dbm::new(-60.0).to_milliwatts();
+        let above = (base + MilliWatts::new(T_CS_DELTA.to_milliwatts().value() * 1.001)).to_dbm();
+        let below = (base + MilliWatts::new(T_CS_DELTA.to_milliwatts().value() * 0.999)).to_dbm();
+        assert_eq!(s.on_rssi(above), EtAction::Abandon);
+        assert_eq!(s.on_rssi(below), EtAction::Continue);
+    }
+
+    #[test]
+    fn works_regardless_of_base_level() {
+        // The rule is about the delta, not the absolute level.
+        for base in [-85.0, -70.0, -50.0] {
+            let s = EtScheduler::arm(Dbm::new(base), T_CS_DELTA);
+            let second = Dbm::new(-75.0); // well above T'_cs
+            let combined = (Dbm::new(base).to_milliwatts() + second.to_milliwatts()).to_dbm();
+            assert_eq!(s.on_rssi(combined), EtAction::Abandon, "base {base}");
+        }
+    }
+
+    #[test]
+    fn rssi1_round_trips() {
+        let s = EtScheduler::arm(Dbm::new(-60.0), T_CS_DELTA);
+        assert!((s.rssi1() - Dbm::new(-60.0)).value().abs() < 1e-9);
+        let _ = Db::ZERO;
+    }
+}

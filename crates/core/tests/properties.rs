@@ -1,0 +1,135 @@
+//! Property-based tests of the CO-MAP protocol invariants.
+
+use comap_core::adapt::{payload_candidates, AdaptationTable, CW_CANDIDATES};
+use comap_core::cooccurrence::CoOccurrenceMap;
+use comap_core::model::{DcfModel, HiddenProfile, ModelInput};
+use comap_core::validate::ConcurrencyValidator;
+use comap_core::ProtocolConfig;
+use comap_mac::timing::PhyTiming;
+use comap_radio::rates::Rate;
+use comap_radio::Position;
+use proptest::prelude::*;
+
+fn arb_pos() -> impl Strategy<Value = Position> {
+    ((-150.0..150.0f64), (-150.0..150.0f64)).prop_map(|(x, y)| Position::new(x, y))
+}
+
+proptest! {
+    /// The concurrency decision is a pure function of geometry: swapping
+    /// the two links swaps the directional PRRs.
+    #[test]
+    fn validation_is_geometrically_symmetric(
+        a in arb_pos(), b in arb_pos(), c in arb_pos(), d in arb_pos(),
+    ) {
+        let cfg = ProtocolConfig::testbed();
+        let v = ConcurrencyValidator::new(cfg.reception(), cfg.t_prr);
+        let (p1, p2) = v.pairwise(a, b, c, d);
+        let (q1, q2) = v.pairwise(c, d, a, b);
+        prop_assert!((p1 - q2).abs() < 1e-9 && (p2 - q1).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p1) && (0.0..=1.0).contains(&p2));
+    }
+
+    /// Model probabilities stay probabilities over the whole parameter
+    /// grid, and goodput is finite and non-negative.
+    #[test]
+    fn model_is_well_behaved(
+        cw in 1u32..2048,
+        contenders in 0usize..20,
+        hidden in 0usize..10,
+        payload in 50u32..2400,
+        hetero in any::<bool>(),
+    ) {
+        let input = ModelInput {
+            phy: PhyTiming::dsss(),
+            rate: Rate::Mbps11,
+            cw,
+            contenders,
+            hidden,
+            payload_bytes: payload,
+            hidden_profile: hetero.then_some(HiddenProfile::DCF_DEFAULT),
+        };
+        let stats = DcfModel::slot_stats(&input);
+        for v in [stats.tau, stats.p_tr, stats.p_s, stats.p_s_i] {
+            prop_assert!((0.0..=1.0).contains(&v), "{stats:?}");
+        }
+        let s = DcfModel::per_node_goodput(&input);
+        prop_assert!(s.is_finite() && s >= 0.0);
+        prop_assert!(s <= Rate::Mbps11.bits_per_second());
+    }
+
+    /// Adding hidden terminals never increases modeled goodput.
+    #[test]
+    fn model_monotone_in_hidden_terminals(
+        cw in prop::sample::select(CW_CANDIDATES.to_vec()),
+        contenders in 0usize..10,
+        payload in 100u32..2200,
+        hidden in 0usize..8,
+    ) {
+        let mk = |h: usize| ModelInput {
+            phy: PhyTiming::dsss(),
+            rate: Rate::Mbps11,
+            cw,
+            contenders,
+            hidden: h,
+            payload_bytes: payload,
+            hidden_profile: Some(HiddenProfile::DCF_DEFAULT),
+        };
+        let a = DcfModel::per_node_goodput(&mk(hidden));
+        let b = DcfModel::per_node_goodput(&mk(hidden + 1));
+        prop_assert!(b <= a + 1e-9);
+    }
+
+    /// The adaptation table's stored entry beats (or ties) every
+    /// candidate it was allowed to choose from.
+    #[test]
+    fn adaptation_entry_is_argmax(h in 0usize..4, c in 0usize..4) {
+        let t = AdaptationTable::precompute(PhyTiming::dsss(), Rate::Mbps11, 4, 4);
+        let s = t.setting(h, c);
+        for &cw in &CW_CANDIDATES {
+            for payload in payload_candidates().filter(|&p| p <= 1500) {
+                let g = DcfModel::per_node_goodput(&ModelInput {
+                    phy: PhyTiming::dsss(),
+                    rate: Rate::Mbps11,
+                    cw,
+                    contenders: c,
+                    hidden: h,
+                    payload_bytes: payload,
+                    hidden_profile: Some(HiddenProfile::DCF_DEFAULT),
+                });
+                prop_assert!(g <= s.predicted_goodput + 1e-9);
+            }
+        }
+    }
+
+    /// The co-occurrence map behaves like a map: last write wins, lookup
+    /// reflects exactly the recorded set, invalidation removes precisely
+    /// the entries involving the node.
+    #[test]
+    fn cooccurrence_map_semantics(
+        ops in prop::collection::vec((0u8..3, 0u32..6, 0u32..6, 0u32..6, any::<bool>()), 0..120),
+    ) {
+        let mut map: CoOccurrenceMap<u32> = CoOccurrenceMap::new();
+        let mut shadow: std::collections::BTreeMap<((u32, u32), u32), bool> =
+            std::collections::BTreeMap::new();
+        for (op, a, b, r, allowed) in ops {
+            match op {
+                0 => {
+                    if a != b {
+                        map.record((a, b), r, allowed);
+                        shadow.insert(((a, b), r), allowed);
+                    }
+                }
+                1 => {
+                    if a != b {
+                        let got = map.lookup((a, b), r);
+                        prop_assert_eq!(got, shadow.get(&((a, b), r)).copied());
+                    }
+                }
+                _ => {
+                    map.invalidate_involving(a);
+                    shadow.retain(|&((s, d), rx), _| s != a && d != a && rx != a);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Fig. 7: analytical model vs simulation for
+//! W ∈ {63, 255, 1023} and 0/3/5 hidden terminals.
+
+use comap_experiments::fig07::{HT_COUNTS, WINDOWS};
+use comap_experiments::report::{mbps, quick_flag, Table};
+
+fn main() {
+    let fig = comap_experiments::fig07::run(quick_flag());
+    for &n_ht in &HT_COUNTS {
+        let mut t = Table::new(
+            format!("Fig. 7 — {n_ht} hidden terminal(s): per-node goodput (Mbps)"),
+            &["Payload (B)", "W=63 model", "W=63 sim", "W=255 model", "W=255 sim", "W=1023 model", "W=1023 sim"],
+        );
+        let panels: Vec<_> = WINDOWS.iter().map(|&w| fig.panel(w, n_ht)).collect();
+        for i in 0..panels[0].len() {
+            t.row(&[
+                panels[0][i].payload.to_string(),
+                mbps(panels[0][i].model),
+                mbps(panels[0][i].sim),
+                mbps(panels[1][i].model),
+                mbps(panels[1][i].sim),
+                mbps(panels[2][i].model),
+                mbps(panels[2][i].sim),
+            ]);
+        }
+        t.print();
+    }
+    println!("mean relative model-vs-sim error: {:.1}%", fig.mean_relative_error() * 100.0);
+}

@@ -1,0 +1,5 @@
+//! Prints Table I (parameter settings) from the canonical preset.
+
+fn main() {
+    comap_experiments::table1::build().print();
+}

@@ -1,0 +1,94 @@
+//! **Fig. 1** — exposed-terminal motivation: goodput of the C1→AP1 link
+//! under basic DCF as C2 (the client of the other cell) moves along the
+//! AP1→AP2 axis. The region where C2's transmissions make C1 defer even
+//! though both links could run concurrently is the exposed-terminal
+//! region the paper motivates CO-MAP with.
+
+use comap_mac::time::SimDuration;
+use comap_sim::config::MacFeatures;
+
+use crate::runner::run_many;
+use crate::topology::et_testbed;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// C2's position, meters from AP1.
+    pub c2_x: f64,
+    /// Mean goodput of C1→AP1, bits/s.
+    pub c1_goodput: f64,
+    /// Mean goodput of C2→AP2, bits/s.
+    pub c2_goodput: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig01 {
+    /// Sweep of C2 positions.
+    pub points: Vec<Point>,
+}
+
+/// C2 positions swept by the paper (12–34 m from AP1).
+pub fn positions() -> Vec<f64> {
+    (6..=17).map(|i| i as f64 * 2.0).collect()
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Fig01 {
+    let (seeds, duration): (&[u64], _) = if quick {
+        (&[1], SimDuration::from_millis(300))
+    } else {
+        (&[1, 2, 3, 4, 5], SimDuration::from_secs(3))
+    };
+    let points = positions()
+        .into_iter()
+        .map(|x| {
+            let reports =
+                run_many(|seed| et_testbed(x, MacFeatures::DCF, seed).0, seeds, duration);
+            let (_, ids) = et_testbed(x, MacFeatures::DCF, 0);
+            let c1: f64 = reports.iter().map(|r| r.link_goodput_bps(ids.c1, ids.ap1)).sum::<f64>()
+                / reports.len() as f64;
+            let c2: f64 = reports.iter().map(|r| r.link_goodput_bps(ids.c2, ids.ap2)).sum::<f64>()
+                / reports.len() as f64;
+            Point { c2_x: x, c1_goodput: c1, c2_goodput: c2 }
+        })
+        .collect();
+    Fig01 { points }
+}
+
+impl Fig01 {
+    /// Mean C1→AP1 goodput inside the exposed region (20–34 m).
+    pub fn exposed_region_mean(&self) -> f64 {
+        let pts: Vec<_> = self.points.iter().filter(|p| p.c2_x >= 20.0).collect();
+        pts.iter().map(|p| p.c1_goodput).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Goodput at the far end of the sweep (C2 out of carrier sense).
+    pub fn far_end(&self) -> f64 {
+        self.points.last().expect("non-empty sweep").c1_goodput
+    }
+
+    /// Goodput at the near end (C2 a genuine contender).
+    pub fn near_end(&self) -> f64 {
+        self.points.first().expect("non-empty sweep").c1_goodput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deferral_recovers_with_distance() {
+        let fig = run(true);
+        assert_eq!(fig.points.len(), 12);
+        // The paper's shape: goodput at the far end clearly exceeds the
+        // near end, because C2 stops suppressing C1.
+        assert!(
+            fig.far_end() > 1.3 * fig.near_end(),
+            "far {} vs near {}",
+            fig.far_end(),
+            fig.near_end()
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! **Fig. 2** — hidden-terminal motivation: goodput of the C1→AP1 link
+//! under basic DCF as the payload size varies, with and without one
+//! hidden terminal. Without the HT, bigger frames amortize overhead
+//! monotonically; with it, the collision probability grows with airtime
+//! and a moderate size wins.
+
+use comap_mac::time::SimDuration;
+use comap_sim::config::MacFeatures;
+
+use crate::runner::run_many;
+use crate::topology::ht_testbed;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Payload size in bytes.
+    pub payload: u32,
+    /// Mean goodput of C1→AP1 without a hidden terminal, bits/s.
+    pub no_ht: f64,
+    /// Mean goodput of C1→AP1 with one hidden terminal, bits/s.
+    pub one_ht: f64,
+    /// Mean goodput of C1→AP1 with three hidden terminals, bits/s.
+    pub three_ht: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig02 {
+    /// Payload sweep.
+    pub points: Vec<Point>,
+}
+
+/// Payload sizes swept.
+pub fn payloads() -> Vec<u32> {
+    (1..=11).map(|i| i * 200).collect()
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> Fig02 {
+    let (seeds, duration): (&[u64], _) = if quick {
+        (&[1], SimDuration::from_millis(300))
+    } else {
+        (&[1, 2, 3, 4, 5], SimDuration::from_secs(3))
+    };
+    let points = payloads()
+        .into_iter()
+        .map(|payload| {
+            let mut means = [0.0f64; 3];
+            for (slot, n_ht) in [(0usize, 0usize), (1, 1), (2, 3)] {
+                let reports = run_many(
+                    |seed| ht_testbed(payload, n_ht, MacFeatures::DCF, seed).0,
+                    seeds,
+                    duration,
+                );
+                let (_, ids) = ht_testbed(payload, n_ht, MacFeatures::DCF, 0);
+                means[slot] = reports
+                    .iter()
+                    .map(|r| r.link_goodput_bps(ids.c1, ids.ap1))
+                    .sum::<f64>()
+                    / reports.len() as f64;
+            }
+            Point { payload, no_ht: means[0], one_ht: means[1], three_ht: means[2] }
+        })
+        .collect();
+    Fig02 { points }
+}
+
+impl Fig02 {
+    /// The payload size maximizing goodput with one HT.
+    pub fn best_payload_with_ht(&self) -> u32 {
+        self.points
+            .iter()
+            .max_by(|a, b| a.one_ht.partial_cmp(&b.one_ht).expect("finite"))
+            .expect("non-empty")
+            .payload
+    }
+
+    /// The payload size maximizing goodput with three HTs.
+    pub fn best_payload_with_three_hts(&self) -> u32 {
+        self.points
+            .iter()
+            .max_by(|a, b| a.three_ht.partial_cmp(&b.three_ht).expect("finite"))
+            .expect("non-empty")
+            .payload
+    }
+
+    /// The payload size maximizing goodput without HTs.
+    pub fn best_payload_without_ht(&self) -> u32 {
+        self.points
+            .iter()
+            .max_by(|a, b| a.no_ht.partial_cmp(&b.no_ht).expect("finite"))
+            .expect("non-empty")
+            .payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_channel_prefers_big_frames_and_ht_hurts() {
+        let fig = run(true);
+        // Without a hidden terminal the biggest payload should be at or
+        // near the optimum.
+        assert!(fig.best_payload_without_ht() >= 1800, "{fig:?}");
+        // The hidden terminal costs real goodput at large payloads.
+        let last = fig.points.last().unwrap();
+        assert!(last.one_ht < 0.8 * last.no_ht, "{last:?}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Running simulations: seed fan-out, averaging and CDFs.
+
+use comap_mac::time::SimDuration;
+use comap_sim::config::SimConfig;
+use comap_sim::frame::NodeId;
+use comap_sim::sim::Simulator;
+use comap_sim::stats::SimReport;
+
+/// Runs one configuration per seed (in parallel across OS threads) and
+/// returns the reports in seed order.
+pub fn run_many<F>(build: F, seeds: &[u64], duration: SimDuration) -> Vec<SimReport>
+where
+    F: Fn(u64) -> SimConfig + Sync,
+{
+    let mut out: Vec<Option<SimReport>> = (0..seeds.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (slot, &seed) in out.iter_mut().zip(seeds) {
+            let build = &build;
+            scope.spawn(move || {
+                *slot = Some(Simulator::new(build(seed)).run(duration));
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("thread completed")).collect()
+}
+
+/// Mean goodput of one directed link across seeds, in bits/s.
+pub fn average_goodput<F>(
+    build: F,
+    seeds: &[u64],
+    duration: SimDuration,
+    link: (NodeId, NodeId),
+) -> f64
+where
+    F: Fn(u64) -> SimConfig + Sync,
+{
+    let reports = run_many(build, seeds, duration);
+    reports.iter().map(|r| r.link_goodput_bps(link.0, link.1)).sum::<f64>()
+        / reports.len() as f64
+}
+
+/// An empirical cumulative distribution function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// The mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the CDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of an empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile order must be in [0, 1]");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[idx - 1]
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn probability_at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.iter().take_while(|&&v| v <= x).count();
+        below as f64 / self.sorted.len() as f64
+    }
+
+    /// `(value, cumulative probability)` points for plotting.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no samples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Builds an empirical CDF from samples.
+pub fn empirical_cdf(mut samples: Vec<f64>) -> Cdf {
+    samples.retain(|v| v.is_finite());
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    Cdf { sorted: samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comap_radio::Position;
+    use comap_sim::config::{NodeSpec, Traffic};
+
+    fn tiny(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::testbed(seed);
+        let a = cfg.add_node(NodeSpec::client("a", Position::new(0.0, 0.0)));
+        let b = cfg.add_node(NodeSpec::ap("b", Position::new(8.0, 0.0)));
+        cfg.add_flow(a, b, Traffic::Saturated);
+        cfg
+    }
+
+    #[test]
+    fn run_many_preserves_seed_order_and_determinism() {
+        let d = SimDuration::from_millis(50);
+        let a = run_many(tiny, &[1, 2, 3], d);
+        let b = run_many(tiny, &[1, 2, 3], d);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.links, y.links);
+        }
+    }
+
+    #[test]
+    fn average_goodput_is_positive() {
+        let g = average_goodput(
+            tiny,
+            &[1, 2],
+            SimDuration::from_millis(100),
+            (NodeId(0), NodeId(1)),
+        );
+        assert!(g > 1e6, "goodput = {g}");
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let cdf = empirical_cdf(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.mean(), 2.5);
+        assert_eq!(cdf.quantile(0.5), 2.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+        assert_eq!(cdf.probability_at(2.5), 0.5);
+        assert_eq!(cdf.points().last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_drops_non_finite() {
+        let cdf = empirical_cdf(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CDF")]
+    fn empty_quantile_panics() {
+        let _ = empirical_cdf(vec![]).quantile(0.5);
+    }
+}

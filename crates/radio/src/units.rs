@@ -1,0 +1,342 @@
+//! Strongly-typed radio units.
+//!
+//! Power levels ([`Dbm`]), power ratios ([`Db`]), linear power
+//! ([`MilliWatts`]) and distances ([`Meters`]) are kept apart by the type
+//! system so that, e.g., an SIR threshold can never be passed where an
+//! absolute power level is expected (C-NEWTYPE).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute radio power level in decibel-milliwatts.
+///
+/// ```rust
+/// use comap_radio::units::{Db, Dbm};
+/// let tx = Dbm::new(20.0);
+/// let loss = Db::new(60.0);
+/// assert_eq!(tx - loss, Dbm::new(-40.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Dbm(f64);
+
+/// A relative power ratio (gain or loss) in decibels.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(f64);
+
+/// A linear power in milliwatts; used when summing interference from
+/// several concurrent transmitters, which is only meaningful in the linear
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MilliWatts(f64);
+
+/// A planar distance in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Meters(f64);
+
+impl Dbm {
+    /// The smallest representable power, used as "no signal at all".
+    pub const MIN: Dbm = Dbm(f64::NEG_INFINITY);
+
+    /// Creates a power level from a raw dBm value.
+    pub const fn new(value: f64) -> Self {
+        Dbm(value)
+    }
+
+    /// Returns the raw dBm value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to linear milliwatts.
+    ///
+    /// ```rust
+    /// use comap_radio::units::Dbm;
+    /// assert!((Dbm::new(0.0).to_milliwatts().value() - 1.0).abs() < 1e-12);
+    /// assert!((Dbm::new(20.0).to_milliwatts().value() - 100.0).abs() < 1e-9);
+    /// ```
+    pub fn to_milliwatts(self) -> MilliWatts {
+        MilliWatts(10f64.powf(self.0 / 10.0))
+    }
+
+    /// Returns `true` if this is an actual (finite) power level.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl Db {
+    /// A zero (unity-gain) ratio.
+    pub const ZERO: Db = Db(0.0);
+
+    /// Creates a ratio from a raw dB value.
+    pub const fn new(value: f64) -> Self {
+        Db(value)
+    }
+
+    /// Returns the raw dB value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts the ratio to a linear factor (`10^(dB/10)`).
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a ratio from a linear factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn from_linear(factor: f64) -> Self {
+        assert!(factor > 0.0, "linear ratio must be positive, got {factor}");
+        Db(10.0 * factor.log10())
+    }
+}
+
+impl MilliWatts {
+    /// Zero power.
+    pub const ZERO: MilliWatts = MilliWatts(0.0);
+
+    /// Creates a linear power from a raw milliwatt value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "power cannot be negative, got {value}");
+        MilliWatts(value)
+    }
+
+    /// Returns the raw milliwatt value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to dBm. Zero power maps to [`Dbm::MIN`].
+    pub fn to_dbm(self) -> Dbm {
+        if self.0 <= 0.0 {
+            Dbm::MIN
+        } else {
+            Dbm(10.0 * self.0.log10())
+        }
+    }
+}
+
+impl Meters {
+    /// Zero distance.
+    pub const ZERO: Meters = Meters(0.0);
+
+    /// Creates a distance from a raw meter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0, "distance cannot be negative, got {value}");
+        Meters(value)
+    }
+
+    /// Returns the raw meter value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the larger of two distances.
+    pub fn max(self, other: Meters) -> Meters {
+        Meters(self.0.max(other.0))
+    }
+}
+
+impl Sub for Dbm {
+    type Output = Db;
+    /// The ratio between two power levels, e.g. a signal-to-interference
+    /// ratio.
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl Add for MilliWatts {
+    type Output = MilliWatts;
+    fn add(self, rhs: MilliWatts) -> MilliWatts {
+        MilliWatts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MilliWatts {
+    fn add_assign(&mut self, rhs: MilliWatts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MilliWatts {
+    type Output = MilliWatts;
+    /// Clamped subtraction: interference bookkeeping can accumulate tiny
+    /// floating-point residue, so differences never go below zero.
+    fn sub(self, rhs: MilliWatts) -> MilliWatts {
+        MilliWatts((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Sum for MilliWatts {
+    fn sum<I: Iterator<Item = MilliWatts>>(iter: I) -> MilliWatts {
+        MilliWatts(iter.map(|p| p.0).sum())
+    }
+}
+
+impl Mul<f64> for Meters {
+    type Output = Meters;
+    fn mul(self, rhs: f64) -> Meters {
+        Meters::new(self.0 * rhs)
+    }
+}
+
+impl Div for Meters {
+    type Output = f64;
+    fn div(self, rhs: Meters) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dBm", self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} dB", self.0)
+    }
+}
+
+impl fmt::Display for MilliWatts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} mW", self.0)
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} m", self.0)
+    }
+}
+
+impl From<f64> for Meters {
+    fn from(value: f64) -> Self {
+        Meters::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_to_milliwatts_round_trip() {
+        for v in [-95.0, -40.0, 0.0, 17.5, 20.0] {
+            let p = Dbm::new(v);
+            let back = p.to_milliwatts().to_dbm();
+            assert!((back.value() - v).abs() < 1e-9, "{v} round-tripped to {back}");
+        }
+    }
+
+    #[test]
+    fn zero_milliwatts_is_min_dbm() {
+        assert_eq!(MilliWatts::ZERO.to_dbm(), Dbm::MIN);
+        assert!(!Dbm::MIN.is_finite());
+    }
+
+    #[test]
+    fn power_difference_is_a_ratio() {
+        let sir = Dbm::new(-60.0) - Dbm::new(-70.0);
+        assert_eq!(sir, Db::new(10.0));
+        assert!((sir.to_linear() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn db_from_linear_round_trip() {
+        for f in [0.01, 0.5, 1.0, 2.0, 1000.0] {
+            let db = Db::from_linear(f);
+            assert!((db.to_linear() - f).abs() / f < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn db_from_nonpositive_linear_panics() {
+        let _ = Db::from_linear(0.0);
+    }
+
+    #[test]
+    fn interference_sums_in_linear_domain() {
+        // Two equal interferers are +3 dB, not +2x dBm.
+        let one = Dbm::new(-80.0).to_milliwatts();
+        let sum = one + one;
+        assert!((sum.to_dbm().value() - (-80.0 + 3.0103)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn milliwatt_sum_iterator() {
+        let total: MilliWatts = (0..4).map(|_| MilliWatts::new(0.25)).sum();
+        assert!((total.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milliwatt_subtraction_clamps_at_zero() {
+        let tiny = MilliWatts::new(1.0) - MilliWatts::new(1.0 + 1e-18);
+        assert_eq!(tiny.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_distance_panics() {
+        let _ = Meters::new(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Dbm::new(-80.0).to_string(), "-80.00 dBm");
+        assert_eq!(Db::new(4.0).to_string(), "4.00 dB");
+        assert_eq!(Meters::new(36.0).to_string(), "36.00 m");
+    }
+}

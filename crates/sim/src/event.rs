@@ -1,0 +1,153 @@
+//! The deterministic event queue.
+//!
+//! A binary heap ordered by `(time, sequence)`: events scheduled at the
+//! same instant pop in scheduling order, which keeps runs bit-for-bit
+//! reproducible across platforms.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use comap_mac::time::SimTime;
+
+use crate::frame::{NodeId, TxId};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A transmission leaves the air.
+    TxEnd(TxId),
+    /// A node's MAC-flow timer (DIFS wait / backoff expiry / ACK timeout)
+    /// fires; stale generations are discarded.
+    FlowTimer {
+        /// Owning node.
+        node: NodeId,
+        /// Generation at scheduling time.
+        gen: u64,
+    },
+    /// A node's responder timer (SIFS before an ACK) fires.
+    ResponderTimer {
+        /// Owning node.
+        node: NodeId,
+        /// Generation at scheduling time.
+        gen: u64,
+    },
+    /// A CBR source has accumulated enough bytes for another frame.
+    TrafficWakeup {
+        /// Owning node.
+        node: NodeId,
+    },
+    /// A node executes its `step`-th scheduled movement.
+    Mobility {
+        /// The moving node.
+        node: NodeId,
+        /// Index into its move list.
+        step: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we need earliest-first.
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Earliest-first event queue with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comap_mac::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), Event::TrafficWakeup { node: NodeId(3) });
+        q.schedule(t(10), Event::TrafficWakeup { node: NodeId(1) });
+        q.schedule(t(20), Event::TrafficWakeup { node: NodeId(2) });
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(tm, _)| tm).collect();
+        assert_eq!(order, vec![t(10), t(20), t(30)]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(5), Event::TrafficWakeup { node: NodeId(i) });
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::TrafficWakeup { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(7), Event::TxEnd(TxId(1)));
+        assert_eq!(q.peek_time(), Some(t(7)));
+        assert_eq!(q.len(), 1);
+        let (time, _) = q.pop().unwrap();
+        assert_eq!(time, t(7));
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,1097 @@
+//! The MAC state machine: 802.11 DCF with CO-MAP extensions.
+//!
+//! One implementation serves both the baseline and CO-MAP — exactly like
+//! the paper's artifact, which extends the driver's DCF path — with each
+//! CO-MAP behaviour behind a [`MacFeatures`] toggle:
+//!
+//! * **discovery headers**: a 22-byte announcement frame precedes every
+//!   data frame back-to-back, carrying the link and the data airtime;
+//! * **ET concurrency**: on decoding a header, a contending node asks its
+//!   [`Protocol`] whether a concurrent transmission is safe; if so it
+//!   *resumes* its backoff under the RSSI-delta watchdog instead of
+//!   deferring (Fig. 6);
+//! * **selective-repeat ARQ**: the stop-and-wait retransmission path is
+//!   replaced by the sliding window of [`comap_mac::arq`];
+//! * **HT adaptation**: payload size and (constant) contention window are
+//!   installed from the protocol's adaptation table.
+//!
+//! The MAC is a pure state machine: the simulator feeds it [`MacEvent`]s
+//! plus a context snapshot and applies the returned [`MacAction`]s.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+
+use comap_core::protocol::Protocol;
+use comap_core::scheduler::{EtAction, EtScheduler};
+use comap_mac::arq::{Ack, SelectiveRepeatReceiver, SelectiveRepeatSender};
+use comap_mac::backoff::{Backoff, BackoffPolicy};
+use comap_mac::frames::FrameKind;
+use comap_mac::time::{SimDuration, SimTime};
+use comap_mac::timing::PhyTiming;
+use comap_radio::rates::Rate;
+use comap_radio::units::{Dbm, MilliWatts};
+use comap_radio::Position;
+
+use crate::config::{MacFeatures, Traffic};
+use crate::frame::{Frame, FrameBody, NodeId};
+use crate::rate::{Minstrel, RateController};
+use crate::trace::TraceEvent;
+
+/// Snapshot of the node's radio environment, passed with every event.
+#[derive(Debug, Clone, Copy)]
+pub struct MacCtx {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Total ambient power (noise floor + active transmissions).
+    pub sensed: MilliWatts,
+    /// Whether this node's radio is transmitting right now.
+    pub transmitting: bool,
+    /// Whether this node's receiver is locked onto a decodable frame
+    /// (preamble carrier sense).
+    pub locked: bool,
+}
+
+/// Events delivered to the MAC.
+#[derive(Debug, Clone, Copy)]
+pub enum MacEvent {
+    /// Ambient power changed.
+    Sense,
+    /// A frame was decoded (any kind, any addressee).
+    Rx {
+        /// The decoded frame.
+        frame: Frame,
+        /// Its received signal strength.
+        rssi: Dbm,
+    },
+    /// Own transmission finished.
+    TxDone {
+        /// The frame that finished.
+        frame: Frame,
+    },
+    /// The flow timer fired (DIFS elapsed / backoff expired / ACK timed
+    /// out — meaning depends on the current state).
+    FlowTimer,
+    /// The responder (SIFS) timer fired: time to send a pending ACK.
+    ResponderTimer,
+    /// New traffic bytes are available.
+    Traffic,
+    /// An in-band header was decoded from a data frame on the air.
+    Announce {
+        /// The announced link.
+        link: (NodeId, NodeId),
+        /// When the announced data frame ends.
+        data_end: SimTime,
+    },
+}
+
+/// Side effects requested by the MAC.
+#[derive(Debug, Clone, Copy)]
+pub enum MacAction {
+    /// (Re-)arm the flow timer at the given instant, invalidating any
+    /// previously armed one.
+    ArmFlowTimer(SimTime),
+    /// Cancel the flow timer.
+    CancelFlowTimer,
+    /// Arm the responder timer.
+    ArmResponderTimer(SimTime),
+    /// Schedule a traffic wakeup.
+    ScheduleTraffic(SimTime),
+    /// Put a frame on the air.
+    Transmit(Frame),
+    /// A statistics event for the simulator to account.
+    Stat(StatEvent),
+    /// A trace event.
+    Trace(TraceEvent),
+}
+
+/// Statistics notifications.
+#[derive(Debug, Clone, Copy)]
+pub enum StatEvent {
+    /// A data frame went on the air toward `dst`.
+    DataTx {
+        /// Flow destination.
+        dst: NodeId,
+    },
+    /// Unique payload bytes arrived from `src`.
+    Delivered {
+        /// Flow source.
+        src: NodeId,
+        /// Payload bytes of the frame.
+        bytes: u32,
+    },
+    /// An ACK timeout expired for a frame toward `dst`.
+    AckTimeout {
+        /// Flow destination.
+        dst: NodeId,
+    },
+    /// A frame toward `dst` was dropped after the retry limit.
+    Drop {
+        /// Flow destination.
+        dst: NodeId,
+    },
+    /// A concurrent (exposed-terminal) transmission started.
+    ConcurrentTx,
+    /// An exposed opportunity was abandoned by the RSSI watchdog.
+    EtAbandon,
+    /// A discovery header was decoded.
+    HeaderHeard,
+}
+
+/// The frame currently in service.
+#[derive(Debug, Clone, Copy)]
+struct PendingFrame {
+    dst: NodeId,
+    seq: u64,
+    payload: u32,
+    retry: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowState {
+    /// No frame admitted.
+    Idle,
+    /// Contending for the channel with `pending`.
+    Contend,
+    /// Transmitting an RTS (RTS/CTS baseline).
+    TxRts,
+    /// Waiting for the CTS answering our RTS.
+    WaitCts,
+    /// Transmitting the discovery header (data follows back-to-back).
+    TxHeader,
+    /// Transmitting the data frame.
+    TxData,
+    /// Waiting for the ACK of the last data frame.
+    WaitAck,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitPhase {
+    /// Channel busy: backoff frozen.
+    NeedIdle,
+    /// Channel idle: waiting out DIFS (flow timer armed).
+    Difs,
+    /// Counting down backoff slots since the stored instant (flow timer
+    /// armed at expiry).
+    Counting(SimTime),
+}
+
+/// Exposed-terminal opportunity state.
+#[derive(Debug, Clone, Copy)]
+struct Opportunity {
+    /// The ongoing link we validated against.
+    link: (NodeId, NodeId),
+    /// When the ongoing data transmission ends.
+    until: SimTime,
+    /// Ambient power at entry (before the announced data frame is on the
+    /// air); the watchdog arms on the first clear rise above this.
+    baseline: MilliWatts,
+    /// RSSI watchdog; `None` until the data frame's power is observed.
+    sched: Option<EtScheduler>,
+}
+
+#[derive(Debug)]
+struct TrafficState {
+    pattern: Traffic,
+    /// Accumulated CBR bytes.
+    bucket: f64,
+    last: SimTime,
+}
+
+impl TrafficState {
+    fn new(pattern: Traffic) -> Self {
+        TrafficState { pattern, bucket: 0.0, last: SimTime::ZERO }
+    }
+
+    fn refresh(&mut self, now: SimTime) {
+        if let Traffic::Cbr { bps } = self.pattern {
+            let dt = now.saturating_duration_since(self.last).as_secs_f64();
+            self.bucket += dt * bps / 8.0;
+        }
+        self.last = now;
+    }
+
+    fn available(&self) -> f64 {
+        match self.pattern {
+            Traffic::Saturated => f64::INFINITY,
+            Traffic::Cbr { .. } => self.bucket,
+        }
+    }
+
+    fn take(&mut self, bytes: u32) {
+        if let Traffic::Cbr { .. } = self.pattern {
+            self.bucket -= f64::from(bytes);
+        }
+    }
+
+    /// Time until `bytes` are available, `None` if they already are.
+    fn eta(&self, bytes: u32) -> Option<SimDuration> {
+        match self.pattern {
+            Traffic::Saturated => None,
+            Traffic::Cbr { bps } => {
+                let missing = f64::from(bytes) - self.bucket;
+                if missing <= 0.0 {
+                    None
+                } else {
+                    Some(SimDuration::from_secs_f64(missing * 8.0 / bps))
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Flow {
+    dst: NodeId,
+    traffic: TrafficState,
+    next_seq: u64,
+}
+
+/// Static wiring the MAC needs from the simulation.
+#[derive(Debug)]
+pub struct MacConfig {
+    /// This node's id.
+    pub id: NodeId,
+    /// Feature toggles.
+    pub features: MacFeatures,
+    /// PHY timing profile.
+    pub phy: PhyTiming,
+    /// Rate-selection policy.
+    pub rate_ctl: RateController,
+    /// Propagation channel (for the rate genie's mean estimates).
+    pub channel: comap_radio::pathloss::LogNormalShadowing,
+    /// True node positions (rate genie only; CO-MAP decisions use the
+    /// *reported* positions inside the protocol instance).
+    pub true_positions: Vec<Position>,
+    /// CCA threshold.
+    pub t_cs: Dbm,
+    /// Backoff policy when adaptation is off.
+    pub backoff: BackoffPolicy,
+    /// Payload size when adaptation is off.
+    pub payload_bytes: u32,
+    /// Per-frame retry limit.
+    pub retry_limit: u32,
+    /// ARQ window size.
+    pub arq_window: usize,
+    /// Whether a decodable frame counts as a busy channel.
+    pub preamble_cs: bool,
+}
+
+/// The MAC instance of one node.
+#[derive(Debug)]
+pub struct Mac {
+    cfg: MacConfig,
+    rng: StdRng,
+    proto: Option<Protocol<NodeId>>,
+
+    flows: Vec<Flow>,
+    flow_rr: usize,
+
+    state: FlowState,
+    wait: WaitPhase,
+    backoff: Backoff,
+    retries: u32,
+    pending: Option<PendingFrame>,
+    current_flow: usize,
+
+    pending_ack: Option<(NodeId, FrameBody)>,
+    traffic_armed: bool,
+    /// Virtual carrier sense: channel counts busy until this instant
+    /// (set by overheard RTS/CTS NAVs).
+    nav_until: SimTime,
+
+    // Receiver-side state.
+    rx_dedup: BTreeMap<NodeId, u64>,
+    arq_rx: BTreeMap<NodeId, SelectiveRepeatReceiver>,
+
+    // Sender-side ARQ.
+    arq_tx: BTreeMap<NodeId, SelectiveRepeatSender>,
+    /// Consecutive ACK timeouts per destination (selective repeat keeps
+    /// the DCF collision-recovery escalation through this counter).
+    sr_retries: BTreeMap<NodeId, u32>,
+
+    /// Per-destination Minstrel state when that controller is selected.
+    minstrel: BTreeMap<NodeId, Minstrel>,
+    /// Rate of the in-flight data frame (Minstrel feedback).
+    last_data_rate: Option<Rate>,
+
+    // CO-MAP runtime.
+    opportunity: Option<Opportunity>,
+    /// The ongoing link the in-flight data frame rode alongside, if it
+    /// was sent concurrently (for outcome feedback).
+    concurrent_sent: Option<(NodeId, NodeId)>,
+    /// Last discovered ongoing transmission: `(link, data start, data
+    /// end)` — consulted when a frame is admitted mid-transmission.
+    ongoing: Option<((NodeId, NodeId), SimTime, SimTime)>,
+    adapted: BTreeMap<NodeId, comap_core::adapt::TxSetting>,
+}
+
+impl Mac {
+    /// Creates the MAC. `proto` must be `Some` when any CO-MAP feature
+    /// needing positions is enabled.
+    pub fn new(cfg: MacConfig, proto: Option<Protocol<NodeId>>, rng: StdRng) -> Self {
+        Mac {
+            cfg,
+            rng,
+            proto,
+            flows: Vec::new(),
+            flow_rr: 0,
+            state: FlowState::Idle,
+            wait: WaitPhase::NeedIdle,
+            backoff: Backoff::from_slots(0),
+            retries: 0,
+            pending: None,
+            current_flow: 0,
+            pending_ack: None,
+            traffic_armed: false,
+            nav_until: SimTime::ZERO,
+            rx_dedup: BTreeMap::new(),
+            arq_rx: BTreeMap::new(),
+            arq_tx: BTreeMap::new(),
+            sr_retries: BTreeMap::new(),
+            minstrel: BTreeMap::new(),
+            last_data_rate: None,
+            opportunity: None,
+            concurrent_sent: None,
+            ongoing: None,
+            adapted: BTreeMap::new(),
+        }
+    }
+
+    /// Registers an outgoing flow.
+    pub fn add_flow(&mut self, dst: NodeId, traffic: Traffic) {
+        self.flows.push(Flow { dst, traffic: TrafficState::new(traffic), next_seq: 0 });
+        if self.cfg.features.selective_repeat {
+            self.arq_tx.insert(dst, SelectiveRepeatSender::new(self.cfg.arq_window));
+        }
+    }
+
+    /// Read access to the protocol instance (reports, examples).
+    pub fn protocol(&self) -> Option<&Protocol<NodeId>> {
+        self.proto.as_ref()
+    }
+
+    /// This node moved: the true-position table (rate genie) always
+    /// follows, while the *reported* position goes through the location
+    /// service's mobility threshold. Returns the position to broadcast,
+    /// if a report is due.
+    pub fn on_moved(&mut self, true_pos: Position, reported_fix: Position) -> Option<Position> {
+        self.cfg.true_positions[self.cfg.id.0] = true_pos;
+        let proto = self.proto.as_mut()?;
+        let report = proto.observe_position(reported_fix)?;
+        // Our geometry changed: adapted settings must be re-censused.
+        self.adapted.clear();
+        Some(report)
+    }
+
+    /// A neighbor's position report arrived (disseminated by the APs).
+    pub fn on_position_report(&mut self, from: NodeId, position: Position) {
+        if let Some(proto) = &mut self.proto {
+            if proto.on_position_report(from, position) {
+                self.adapted.remove(&from);
+            }
+        }
+    }
+
+    /// Keeps the rate genie's view of a *neighbor's* true position fresh.
+    pub fn on_neighbor_moved(&mut self, node: NodeId, true_pos: Position) {
+        self.cfg.true_positions[node.0] = true_pos;
+    }
+
+    /// Handles one event, returning the actions to apply.
+    pub fn handle(&mut self, event: MacEvent, ctx: MacCtx) -> Vec<MacAction> {
+        let mut out = Vec::new();
+        match event {
+            MacEvent::Sense => self.on_sense(ctx, &mut out),
+            MacEvent::Rx { frame, rssi } => self.on_rx(frame, rssi, ctx, &mut out),
+            MacEvent::TxDone { frame } => self.on_tx_done(frame, ctx, &mut out),
+            MacEvent::FlowTimer => self.on_flow_timer(ctx, &mut out),
+            MacEvent::ResponderTimer => self.on_responder(ctx, &mut out),
+            MacEvent::Traffic => {
+                self.traffic_armed = false;
+            }
+            MacEvent::Announce { link, data_end } => {
+                out.push(MacAction::Stat(StatEvent::HeaderHeard));
+                if self.cfg.features.et_concurrency {
+                    // Unlike a separate header, the in-band announcement
+                    // arrives once the data frame is already on the air.
+                    self.ongoing = Some((link, ctx.now, data_end));
+                    self.try_enter_opportunity(ctx, &mut out);
+                }
+            }
+        }
+        self.sync(ctx, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_sense(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        // Feed the RSSI watchdog of an armed opportunity.
+        if let Some(op) = &mut self.opportunity {
+            if ctx.now >= op.until {
+                self.opportunity = None;
+            } else {
+                match &mut op.sched {
+                    None => {
+                        // The entry instant also carries the header's
+                        // power *drop*; RSSI₁ must be the ongoing data
+                        // frame, i.e. the first clear rise over the
+                        // entry baseline.
+                        if let Some(proto) = &self.proto {
+                            if ctx.sensed.value() > op.baseline.value() * 1.5 {
+                                op.sched = Some(proto.arm_scheduler(ctx.sensed.to_dbm()));
+                            }
+                        }
+                    }
+                    Some(sched) => {
+                        if sched.on_rssi(ctx.sensed.to_dbm()) == EtAction::Abandon {
+                            self.opportunity = None;
+                            out.push(MacAction::Stat(StatEvent::EtAbandon));
+                            out.push(MacAction::Trace(TraceEvent::EtAbandon {
+                                node: self.cfg.id,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        // sync() takes care of freeze/resume transitions.
+    }
+
+    fn on_rx(&mut self, frame: Frame, rssi: Dbm, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        match frame.body {
+            FrameBody::Discovery { data_duration } => {
+                out.push(MacAction::Stat(StatEvent::HeaderHeard));
+                self.consider_opportunity(frame, data_duration, rssi, ctx, out);
+            }
+            FrameBody::Data { seq, payload_bytes, retry } => {
+                if frame.dst != self.cfg.id {
+                    return;
+                }
+                let (is_new, ack_body) = if self.cfg.features.selective_repeat {
+                    let rx = self.arq_rx.entry(frame.src).or_default();
+                    let new = rx.on_frame(seq);
+                    (new, FrameBody::Ack { seq, sr: Some(rx.ack()) })
+                } else {
+                    let new = !retry || self.rx_dedup.get(&frame.src) != Some(&seq);
+                    self.rx_dedup.insert(frame.src, seq);
+                    (new, FrameBody::Ack { seq, sr: None })
+                };
+                if is_new {
+                    out.push(MacAction::Stat(StatEvent::Delivered {
+                        src: frame.src,
+                        bytes: payload_bytes,
+                    }));
+                    out.push(MacAction::Trace(TraceEvent::Delivered {
+                        node: self.cfg.id,
+                        from: frame.src,
+                    }));
+                }
+                self.pending_ack = Some((frame.src, ack_body));
+                out.push(MacAction::ArmResponderTimer(ctx.now + self.cfg.phy.sifs()));
+            }
+            FrameBody::Ack { seq, sr } => {
+                if frame.dst != self.cfg.id {
+                    return;
+                }
+                self.on_ack(frame.src, seq, sr, ctx, out);
+            }
+            FrameBody::Rts { nav } => {
+                if frame.dst == self.cfg.id {
+                    // Answer with a CTS after SIFS; its NAV covers the
+                    // rest of the exchange.
+                    let cts_air = self.cfg.phy.frame_duration(
+                        comap_mac::frames::CTS_BYTES,
+                        self.cfg.phy.control_rate(),
+                    );
+                    let cts_nav = nav - self.cfg.phy.sifs() - cts_air;
+                    self.pending_ack = Some((frame.src, FrameBody::Cts { nav: cts_nav }));
+                    out.push(MacAction::ArmResponderTimer(ctx.now + self.cfg.phy.sifs()));
+                } else {
+                    self.set_nav(ctx.now + nav, out);
+                }
+            }
+            FrameBody::Cts { nav } => {
+                if frame.dst == self.cfg.id {
+                    if self.state == FlowState::WaitCts {
+                        if let Some(p) = self.pending {
+                            out.push(MacAction::CancelFlowTimer);
+                            self.state = FlowState::TxData;
+                            let data = self.data_frame(p, ctx);
+                            out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
+                            out.push(MacAction::Trace(TraceEvent::TxStart {
+                                node: self.cfg.id,
+                                dst: p.dst,
+                                what: "DATA",
+                            }));
+                            out.push(MacAction::Transmit(data));
+                        }
+                    }
+                } else {
+                    self.set_nav(ctx.now + nav, out);
+                }
+            }
+        }
+    }
+
+    /// Extends the NAV and schedules a re-evaluation at its expiry —
+    /// NAV expiry produces no medium event, so without the wakeup a node
+    /// whose channel is otherwise quiet would stay frozen forever.
+    fn set_nav(&mut self, until: SimTime, out: &mut Vec<MacAction>) {
+        if until > self.nav_until {
+            self.nav_until = until;
+            out.push(MacAction::ScheduleTraffic(until + SimDuration::from_nanos(1)));
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        from: NodeId,
+        seq: u64,
+        sr: Option<Ack>,
+        _ctx: MacCtx,
+        out: &mut Vec<MacAction>,
+    ) {
+        if self.state == FlowState::WaitAck {
+            if let (Some(rate), Some(p)) = (self.last_data_rate, self.pending) {
+                if p.dst == from {
+                    if let Some(m) = self.minstrel.get_mut(&from) {
+                        m.report(rate, true);
+                    }
+                }
+            }
+        }
+        if let (Some(link), Some(p)) = (self.concurrent_sent, self.pending) {
+            if p.dst == from && self.state == FlowState::WaitAck {
+                if let Some(proto) = &mut self.proto {
+                    proto.record_concurrency_outcome(link, from, true);
+                }
+                self.concurrent_sent = None;
+            }
+        }
+        if self.cfg.features.selective_repeat {
+            self.sr_retries.insert(from, 0);
+            if let (Some(window), Some(sr)) = (self.arq_tx.get_mut(&from), sr) {
+                // Goodput is accounted at the receiver; the window only
+                // needs the ACK to slide.
+                let _ = window.on_ack(sr);
+            }
+            if self.state == FlowState::WaitAck
+                && self.pending.map(|p| p.dst) == Some(from)
+            {
+                self.state = FlowState::Idle;
+                self.pending = None;
+                self.retries = 0;
+                out.push(MacAction::CancelFlowTimer);
+            }
+        } else if self.state == FlowState::WaitAck {
+            if let Some(p) = self.pending {
+                if p.dst == from && p.seq == seq {
+                    self.state = FlowState::Idle;
+                    self.pending = None;
+                    self.retries = 0;
+                    out.push(MacAction::CancelFlowTimer);
+                }
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, frame: Frame, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        out.push(MacAction::Trace(TraceEvent::TxEnd { node: self.cfg.id }));
+        match frame.kind() {
+            FrameKind::DiscoveryHeader => {
+                // Data follows back-to-back.
+                if let Some(p) = self.pending {
+                    self.state = FlowState::TxData;
+                    let data = self.data_frame(p, ctx);
+                    out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
+                    out.push(MacAction::Trace(TraceEvent::TxStart {
+                        node: self.cfg.id,
+                        dst: p.dst,
+                        what: "DATA",
+                    }));
+                    out.push(MacAction::Transmit(data));
+                } else {
+                    self.state = FlowState::Idle;
+                }
+            }
+            FrameKind::Data => {
+                self.state = FlowState::WaitAck;
+                out.push(MacAction::ArmFlowTimer(ctx.now + self.cfg.phy.ack_timeout()));
+            }
+            FrameKind::Rts => {
+                self.state = FlowState::WaitCts;
+                let timeout = self.cfg.phy.sifs()
+                    + self.cfg.phy.frame_duration(
+                        comap_mac::frames::CTS_BYTES,
+                        self.cfg.phy.control_rate(),
+                    )
+                    + self.cfg.phy.slot();
+                out.push(MacAction::ArmFlowTimer(ctx.now + timeout));
+            }
+            FrameKind::Ack | FrameKind::Cts => {
+                // Responder duty done; flow state untouched.
+            }
+        }
+    }
+
+    fn on_flow_timer(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        match self.state {
+            FlowState::WaitAck => self.on_ack_timeout(ctx, out),
+            FlowState::WaitCts => self.on_ack_timeout(ctx, out),
+            FlowState::Contend => match self.wait {
+                WaitPhase::Difs => {
+                    if self.effective_busy(ctx) {
+                        self.wait = WaitPhase::NeedIdle;
+                    } else if self.backoff.is_expired() {
+                        self.start_transmission(ctx, out);
+                    } else {
+                        self.wait = WaitPhase::Counting(ctx.now);
+                        out.push(MacAction::ArmFlowTimer(
+                            ctx.now
+                                + self.cfg.phy.slot() * u64::from(self.backoff.slots_remaining()),
+                        ));
+                    }
+                }
+                WaitPhase::Counting(since) => {
+                    if self.effective_busy(ctx) {
+                        // The channel (possibly our own responder ACK)
+                        // went busy after the timer was armed: freeze
+                        // instead of transmitting blind.
+                        let elapsed = ctx.now.saturating_duration_since(since);
+                        let slots = (elapsed / self.cfg.phy.slot()) as u32;
+                        self.backoff.consume(slots);
+                        self.wait = WaitPhase::NeedIdle;
+                    } else {
+                        self.backoff.consume(self.backoff.slots_remaining());
+                        self.start_transmission(ctx, out);
+                    }
+                }
+                WaitPhase::NeedIdle => {
+                    // Stale timer that raced a freeze; ignore.
+                }
+            },
+            _ => {}
+        }
+    }
+
+    fn on_ack_timeout(&mut self, _ctx: MacCtx, out: &mut Vec<MacAction>) {
+        let Some(p) = self.pending else {
+            self.state = FlowState::Idle;
+            return;
+        };
+        out.push(MacAction::Stat(StatEvent::AckTimeout { dst: p.dst }));
+        if let Some(rate) = self.last_data_rate {
+            if let Some(m) = self.minstrel.get_mut(&p.dst) {
+                m.report(rate, false);
+            }
+        }
+        if let Some(link) = self.concurrent_sent.take() {
+            if let Some(proto) = &mut self.proto {
+                proto.record_concurrency_outcome(link, p.dst, false);
+            }
+        }
+        if self.cfg.features.selective_repeat {
+            // Selective repeat: move on; the window decides what to send
+            // next, retransmitting swept losses. Keep DCF's collision
+            // recovery: consecutive timeouts escalate the next backoff.
+            *self.sr_retries.entry(p.dst).or_insert(0) += 1;
+            self.state = FlowState::Idle;
+            self.pending = None;
+            self.retries = 0;
+        } else {
+            self.retries += 1;
+            if self.retries > self.cfg.retry_limit {
+                out.push(MacAction::Stat(StatEvent::Drop { dst: p.dst }));
+                self.pending = None;
+                self.retries = 0;
+                self.state = FlowState::Idle;
+            } else {
+                self.pending = Some(PendingFrame { retry: true, ..p });
+                self.backoff = Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
+                self.state = FlowState::Contend;
+                self.wait = WaitPhase::NeedIdle;
+            }
+        }
+    }
+
+    fn on_responder(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        let Some((to, body)) = self.pending_ack.take() else {
+            return;
+        };
+        if ctx.transmitting {
+            // Radio occupied (rare): the ACK is lost, as on real hardware.
+            return;
+        }
+        let ack = Frame { src: self.cfg.id, dst: to, body, rate: self.cfg.phy.control_rate() };
+        out.push(MacAction::Trace(TraceEvent::TxStart {
+            node: self.cfg.id,
+            dst: to,
+            what: "ACK",
+        }));
+        out.push(MacAction::Transmit(ack));
+    }
+
+    // ------------------------------------------------------------------
+    // The catch-all synchronizer
+    // ------------------------------------------------------------------
+
+    /// Reconciles the flow state with the channel after any event.
+    fn sync(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        // Expire a stale opportunity.
+        if let Some(op) = &self.opportunity {
+            if ctx.now >= op.until {
+                self.opportunity = None;
+            }
+        }
+        if ctx.transmitting {
+            return;
+        }
+        if self.state == FlowState::Idle {
+            self.admit_frame(ctx, out);
+        }
+        if self.state != FlowState::Contend {
+            return;
+        }
+        let busy = self.effective_busy(ctx);
+        match self.wait {
+            WaitPhase::NeedIdle => {
+                if !busy {
+                    if self.opportunity.is_some() {
+                        // Resume backoff straight away (paper Fig. 6):
+                        // the "idle" verdict comes from the watchdog.
+                        self.begin_counting(ctx, out);
+                    } else {
+                        self.wait = WaitPhase::Difs;
+                        out.push(MacAction::ArmFlowTimer(ctx.now + self.cfg.phy.difs()));
+                    }
+                }
+            }
+            WaitPhase::Difs => {
+                if busy {
+                    self.wait = WaitPhase::NeedIdle;
+                    out.push(MacAction::CancelFlowTimer);
+                }
+            }
+            WaitPhase::Counting(since) => {
+                if busy {
+                    let elapsed = ctx.now.saturating_duration_since(since);
+                    let slots = (elapsed / self.cfg.phy.slot()) as u32;
+                    self.backoff.consume(slots);
+                    self.wait = WaitPhase::NeedIdle;
+                    out.push(MacAction::CancelFlowTimer);
+                    out.push(MacAction::Trace(TraceEvent::Defer { node: self.cfg.id }));
+                }
+            }
+        }
+    }
+
+    fn begin_counting(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        self.wait = WaitPhase::Counting(ctx.now);
+        out.push(MacAction::ArmFlowTimer(
+            ctx.now + self.cfg.phy.slot() * u64::from(self.backoff.slots_remaining()),
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Frame admission and transmission
+    // ------------------------------------------------------------------
+
+    /// Picks the next frame to serve, if any traffic is ready.
+    fn admit_frame(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        if self.flows.is_empty() {
+            return;
+        }
+        let n = self.flows.len();
+        for probe in 0..n {
+            let idx = (self.flow_rr + probe) % n;
+            if let Some(p) = self.try_flow(idx, ctx, out) {
+                self.flow_rr = (idx + 1) % n;
+                self.current_flow = idx;
+                self.pending = Some(p);
+                self.retries = 0;
+                let escalation = self.sr_retries.get(&p.dst).copied().unwrap_or(0);
+                self.backoff =
+                    Backoff::draw(self.effective_policy(p.dst), escalation, &mut self.rng);
+                self.state = FlowState::Contend;
+                self.wait = WaitPhase::NeedIdle;
+                self.try_enter_opportunity(ctx, out);
+                return;
+            }
+        }
+        // Nothing ready: schedule the earliest CBR wakeup.
+        if !self.traffic_armed {
+            let dsts: Vec<NodeId> = self.flows.iter().map(|f| f.dst).collect();
+            let mut min_eta: Option<SimDuration> = None;
+            for (i, dst) in dsts.into_iter().enumerate() {
+                let payload = self.payload_for(dst);
+                if let Some(eta) = self.flows[i].traffic.eta(payload) {
+                    min_eta = Some(min_eta.map_or(eta, |m: SimDuration| m.min(eta)));
+                }
+            }
+            if let Some(min) = min_eta {
+                self.traffic_armed = true;
+                out.push(MacAction::ScheduleTraffic(
+                    ctx.now + min.max(SimDuration::from_micros(1)),
+                ));
+            }
+        }
+    }
+
+    fn try_flow(&mut self, idx: usize, ctx: MacCtx, out: &mut Vec<MacAction>) -> Option<PendingFrame> {
+        let payload = self.payload_for(self.flows[idx].dst);
+        let dst = self.flows[idx].dst;
+        let flow = &mut self.flows[idx];
+        flow.traffic.refresh(ctx.now);
+
+        if self.cfg.features.selective_repeat {
+            let window = self.arq_tx.get_mut(&dst).expect("ARQ window exists per flow");
+            // Keep the window full.
+            while window.has_room() && flow.traffic.available() >= f64::from(payload) {
+                flow.traffic.take(payload);
+                window.enqueue(payload);
+            }
+            loop {
+                let seq = window.next_to_send()?;
+                let attempts = window.attempts_of(seq).unwrap_or(0);
+                if attempts > self.cfg.retry_limit {
+                    window.abandon(seq);
+                    out.push(MacAction::Stat(StatEvent::Drop { dst }));
+                    continue;
+                }
+                let payload = window.payload_of(seq).unwrap_or(payload);
+                return Some(PendingFrame { dst, seq, payload, retry: attempts > 0 });
+            }
+        } else {
+            if flow.traffic.available() >= f64::from(payload) {
+                flow.traffic.take(payload);
+                let seq = flow.next_seq;
+                flow.next_seq += 1;
+                return Some(PendingFrame { dst, seq, payload, retry: false });
+            }
+            None
+        }
+    }
+
+    /// Payload size for a destination: adapted when the census says so.
+    fn payload_for(&mut self, dst: NodeId) -> u32 {
+        if !self.cfg.features.ht_adaptation {
+            return self.cfg.payload_bytes;
+        }
+        if let Some(s) = self.adapted.get(&dst) {
+            return s.payload_bytes;
+        }
+        if let Some(proto) = &self.proto {
+            if let Ok(setting) = proto.tx_setting(dst) {
+                self.adapted.insert(dst, setting);
+                return setting.payload_bytes;
+            }
+        }
+        self.cfg.payload_bytes
+    }
+
+    /// Backoff policy for a destination: the adaptation table's constant
+    /// window when installed.
+    fn effective_policy(&self, dst: NodeId) -> BackoffPolicy {
+        if self.cfg.features.ht_adaptation {
+            if let Some(s) = self.adapted.get(&dst) {
+                // The adaptation table's window is installed as the
+                // *initial* window; collisions still escalate it, as
+                // 802.11 requires.
+                return BackoffPolicy::Beb { cw_min: s.cw, cw_max: 1023 };
+            }
+        }
+        self.cfg.backoff
+    }
+
+    fn start_transmission(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        let Some(p) = self.pending else {
+            self.state = FlowState::Idle;
+            return;
+        };
+        self.concurrent_sent = self.opportunity.map(|op| op.link);
+        if self.concurrent_sent.is_some() {
+            out.push(MacAction::Stat(StatEvent::ConcurrentTx));
+        }
+        if self.cfg.features.selective_repeat {
+            if let Some(w) = self.arq_tx.get_mut(&p.dst) {
+                w.mark_sent(p.seq);
+            }
+        }
+        if self.cfg.features.rts_cts {
+            self.state = FlowState::TxRts;
+            let data_rate = self.rate_for(p.dst);
+            let data_bytes = comap_mac::frames::DATA_HEADER_BYTES + p.payload;
+            // NAV from the end of the RTS: SIFS + CTS + SIFS + data +
+            // SIFS + ACK.
+            let nav = self.cfg.phy.sifs()
+                + self.cfg.phy.frame_duration(
+                    comap_mac::frames::CTS_BYTES,
+                    self.cfg.phy.control_rate(),
+                )
+                + self.cfg.phy.sifs()
+                + self.cfg.phy.frame_duration(data_bytes, data_rate)
+                + self.cfg.phy.sifs()
+                + self.cfg.phy.ack_duration();
+            let rts = Frame {
+                src: self.cfg.id,
+                dst: p.dst,
+                body: FrameBody::Rts { nav },
+                rate: self.cfg.phy.control_rate(),
+            };
+            out.push(MacAction::Trace(TraceEvent::TxStart {
+                node: self.cfg.id,
+                dst: p.dst,
+                what: "RTS",
+            }));
+            out.push(MacAction::Transmit(rts));
+            return;
+        }
+        if self.cfg.features.discovery_header {
+            self.state = FlowState::TxHeader;
+            let data_rate = self.rate_for(p.dst);
+            let data_bytes = comap_mac::frames::DATA_HEADER_BYTES + p.payload;
+            let data_duration = self.cfg.phy.frame_duration(data_bytes, data_rate);
+            let header = Frame {
+                src: self.cfg.id,
+                dst: p.dst,
+                body: FrameBody::Discovery { data_duration },
+                rate: self.cfg.phy.header_rate(),
+            };
+            out.push(MacAction::Trace(TraceEvent::TxStart {
+                node: self.cfg.id,
+                dst: p.dst,
+                what: "HDR",
+            }));
+            out.push(MacAction::Transmit(header));
+        } else {
+            self.state = FlowState::TxData;
+            let frame = self.data_frame(p, ctx);
+            out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
+            out.push(MacAction::Trace(TraceEvent::TxStart {
+                node: self.cfg.id,
+                dst: p.dst,
+                what: "DATA",
+            }));
+            out.push(MacAction::Transmit(frame));
+        }
+    }
+
+    fn data_frame(&mut self, p: PendingFrame, _ctx: MacCtx) -> Frame {
+        let rate = self.rate_for(p.dst);
+        self.last_data_rate = Some(rate);
+        Frame {
+            src: self.cfg.id,
+            dst: p.dst,
+            body: FrameBody::Data { seq: p.seq, payload_bytes: p.payload, retry: p.retry },
+            rate,
+        }
+    }
+
+    fn rate_for(&mut self, dst: NodeId) -> Rate {
+        if matches!(self.cfg.rate_ctl, RateController::Minstrel) {
+            let standard = self.cfg.phy.standard();
+            return self
+                .minstrel
+                .entry(dst)
+                .or_insert_with(|| Minstrel::new(standard))
+                .select();
+        }
+        let interferer = self
+            .opportunity
+            .map(|op| self.cfg.true_positions[op.link.0 .0]);
+        self.cfg.rate_ctl.select(
+            &self.cfg.channel,
+            self.cfg.phy.standard(),
+            self.cfg.true_positions[self.cfg.id.0],
+            self.cfg.true_positions[dst.0],
+            interferer,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Exposed-terminal logic
+    // ------------------------------------------------------------------
+
+    fn consider_opportunity(
+        &mut self,
+        header: Frame,
+        data_duration: SimDuration,
+        _rssi: Dbm,
+        ctx: MacCtx,
+        out: &mut Vec<MacAction>,
+    ) {
+        if !self.cfg.features.et_concurrency {
+            return;
+        }
+        // Remember the discovery even when we cannot act on it right now:
+        // a frame admitted mid-transmission re-checks it.
+        self.ongoing =
+            Some(((header.src, header.dst), ctx.now, ctx.now + data_duration));
+        self.try_enter_opportunity(ctx, out);
+    }
+
+    /// Attempts to convert the last discovered ongoing transmission into
+    /// an exposed-terminal opportunity for the pending frame.
+    fn try_enter_opportunity(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
+        if !self.cfg.features.et_concurrency || self.opportunity.is_some() {
+            return;
+        }
+        if self.state != FlowState::Contend {
+            return;
+        }
+        let Some(((src, dst), data_start, until)) = self.ongoing else { return };
+        if ctx.now >= until {
+            self.ongoing = None;
+            return;
+        }
+        let Some(p) = self.pending else { return };
+        // The announced data is addressed to us: we are its receiver, not
+        // an exposed terminal.
+        if dst == self.cfg.id || src == self.cfg.id {
+            return;
+        }
+        let Some(proto) = &mut self.proto else { return };
+        let allowed = proto.concurrency_allowed((src, dst), p.dst).unwrap_or(false);
+        if !allowed {
+            return;
+        }
+        // Joining after the data frame is already on the air: the current
+        // ambient power *is* RSSI₁. Joining at discovery time: the data
+        // has not started, so the watchdog arms on the first clear rise.
+        let sched = if ctx.now > data_start {
+            self.proto.as_ref().map(|pr| pr.arm_scheduler(ctx.sensed.to_dbm()))
+        } else {
+            None
+        };
+        self.opportunity =
+            Some(Opportunity { link: (src, dst), until, baseline: ctx.sensed, sched });
+        out.push(MacAction::Trace(TraceEvent::EtOpportunity { node: self.cfg.id }));
+        // sync() will resume the backoff under the watchdog.
+    }
+
+    /// Whether the channel blocks this node's countdown.
+    fn effective_busy(&self, ctx: MacCtx) -> bool {
+        if ctx.transmitting {
+            return true;
+        }
+        match &self.opportunity {
+            Some(op) => match &op.sched {
+                // Armed: the watchdog alone decides (abandon is handled in
+                // on_sense; if we are still in the opportunity, the
+                // channel counts as clear).
+                Some(_) => false,
+                // Header decoded but data not yet on the air: clear.
+                None => false,
+            },
+            None => {
+                ctx.now < self.nav_until
+                    || ctx.sensed.to_dbm() >= self.cfg.t_cs
+                    || (self.cfg.preamble_cs && ctx.locked)
+            }
+        }
+    }
+}

@@ -1,0 +1,550 @@
+//! The shared radio medium: propagation, carrier sensing and reception.
+//!
+//! Every transmission draws one shadowing sample per receiver (paper
+//! eq. 1); that same sample governs both carrier sensing and decoding of
+//! the frame, so the channel is self-consistent for its duration.
+//!
+//! Reception follows the SINR-threshold capture model: a receiver locks
+//! onto the first frame whose SINR against the current ambient power
+//! clears the rate's minimum; the frame survives if its SINR against the
+//! *worst* overlapping interference stays above that minimum. With
+//! `capture` enabled, a later frame that is decodable *despite* the
+//! currently locked signal steals the lock (preamble capture) — without
+//! it, two saturated hidden flows annihilate each other completely, which
+//! neither commodity hardware nor NS-2 reproduces.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use comap_mac::time::SimTime;
+use comap_radio::pathloss::{sample_standard_normal, LogNormalShadowing};
+use comap_radio::units::{Db, Dbm, Meters, MilliWatts};
+use comap_radio::{Position, NOISE_FLOOR};
+
+use crate::frame::{Frame, NodeId, TxId};
+
+/// A notification the medium hands back to the simulator for a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhyNote {
+    /// The ambient power at the node changed; the MAC should re-evaluate
+    /// carrier sense and any armed RSSI watchdog.
+    Sense,
+    /// A frame was received successfully (lock held to the end with
+    /// sufficient SINR).
+    Rx {
+        /// The decoded frame.
+        frame: Frame,
+        /// Received signal strength of the frame.
+        rssi: Dbm,
+    },
+    /// The node's own transmission left the air.
+    TxDone {
+        /// The transmitted frame.
+        frame: Frame,
+    },
+    /// In-band announcement: the node locked onto a data frame whose
+    /// MAC header (the paper's 4-byte-FCS variant) reveals the link and
+    /// the remaining airtime.
+    Announce {
+        /// The announced link.
+        link: (NodeId, NodeId),
+        /// When the data frame ends.
+        data_end: SimTime,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RxLock {
+    tx: TxId,
+    signal: MilliWatts,
+    /// Interference power during the current exposure span.
+    interference: MilliWatts,
+    /// Accumulated expected bit errors (`Σ BER(SINR) · bitrate · dt`).
+    hazard: f64,
+    /// Start of the current exposure span.
+    since: SimTime,
+    /// Bit rate of the locked frame (for the hazard integral).
+    rate: comap_radio::rates::Rate,
+}
+
+/// Bit-error rate at `delta_db` decibels below the rate\'s minimum SINR:
+/// `1e-5` at the threshold, doubling per dB below it, vanishing above.
+/// The 8 000-bit scale of a data frame turns this into a sharp-but-
+/// duration-sensitive corruption model.
+fn bit_error_rate(delta_db: f64) -> f64 {
+    (1e-5 * 2f64.powf(delta_db)).min(0.5)
+}
+
+impl RxLock {
+    /// Accrues hazard for the span ending `now`, then resets the span.
+    fn accrue(&mut self, now: SimTime) {
+        let dt = now.saturating_duration_since(self.since).as_secs_f64();
+        if dt > 0.0 {
+            let sinr_db = 10.0 * (self.signal.value() / self.interference.value()).log10();
+            let delta = self.rate.min_sinr().value() - sinr_db;
+            self.hazard += bit_error_rate(delta) * self.rate.bits_per_second() * dt;
+        }
+        self.since = now;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhyState {
+    transmitting: Option<TxId>,
+    incoming: MilliWatts,
+    lock: Option<RxLock>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    id: TxId,
+    frame: Frame,
+    end: SimTime,
+    /// Received power of this transmission at every node (own entry 0).
+    powers: Vec<MilliWatts>,
+}
+
+/// Per-frame fading deviation: for *static* nodes most of the shadowing
+/// (obstructions, walls) does not change between frames; only a small
+/// fast-fading component does. The per-link remainder is drawn once per
+/// run, keeping the total variance at the channel\'s σ².
+const FAST_SIGMA_DB: f64 = 1.5;
+
+/// The medium over a set of static node positions.
+#[derive(Debug)]
+pub struct Medium {
+    channel: LogNormalShadowing,
+    positions: Vec<Position>,
+    capture: bool,
+    /// Emit [`PhyNote::Announce`] when a node locks onto a data frame
+    /// (the paper\'s in-band header implementation, Section V method 1).
+    inband_announce: bool,
+    states: Vec<PhyState>,
+    active: Vec<ActiveTx>,
+    next_tx: u64,
+    rng: StdRng,
+    /// Static (per-run) shadowing per ordered node pair, symmetric.
+    static_shadow: Vec<Db>,
+    fast_sigma: Db,
+}
+
+impl Medium {
+    /// Creates a medium for nodes at `positions` over `channel`. The
+    /// channel\'s shadowing deviation is split into a static per-link
+    /// component (drawn here, reciprocal) and a small per-frame fading
+    /// component of at most [`FAST_SIGMA_DB`].
+    pub fn new(
+        channel: LogNormalShadowing,
+        positions: Vec<Position>,
+        capture: bool,
+        mut rng: StdRng,
+    ) -> Self {
+        let n = positions.len();
+        let states = vec![PhyState::default(); n];
+        let sigma = channel.sigma().value();
+        let fast = sigma.min(FAST_SIGMA_DB);
+        let slow = (sigma * sigma - fast * fast).max(0.0).sqrt();
+        let mut static_shadow = vec![Db::ZERO; n * n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let draw = Db::new(slow * sample_standard_normal(&mut rng));
+                static_shadow[a * n + b] = draw;
+                static_shadow[b * n + a] = draw;
+            }
+        }
+        Medium {
+            channel,
+            positions,
+            capture,
+            inband_announce: false,
+            states,
+            active: Vec::new(),
+            next_tx: 0,
+            rng,
+            static_shadow,
+            fast_sigma: Db::new(fast),
+        }
+    }
+
+    /// Enables in-band header announcements.
+    pub fn set_inband_announce(&mut self, enabled: bool) {
+        self.inband_announce = enabled;
+    }
+
+    /// Moves a node: future propagation uses the new position, and the
+    /// static shadowing of every link involving the node is redrawn (a
+    /// mover meets new walls). Transmissions already on the air keep the
+    /// powers they were drawn with.
+    pub fn set_position(&mut self, node: NodeId, to: Position) {
+        let n = self.positions.len();
+        self.positions[node.0] = to;
+        let sigma = self.channel.sigma().value();
+        let fast = sigma.min(FAST_SIGMA_DB);
+        let slow = (sigma * sigma - fast * fast).max(0.0).sqrt();
+        for other in 0..n {
+            if other != node.0 {
+                let draw = Db::new(slow * sample_standard_normal(&mut self.rng));
+                self.static_shadow[node.0 * n + other] = draw;
+                self.static_shadow[other * n + node.0] = draw;
+            }
+        }
+    }
+
+    /// One received-power sample for the link `src → dst`: mean path loss
+    /// plus the static per-link shadow plus fresh fast fading.
+    fn sample_link_power(&mut self, src: usize, dst: usize) -> MilliWatts {
+        let d = self.positions[src].distance_to(self.positions[dst]).max(Meters::new(1.0));
+        let n = self.positions.len();
+        let fast = Db::new(self.fast_sigma.value() * sample_standard_normal(&mut self.rng));
+        (self.channel.mean_power(d) + self.static_shadow[src * n + dst] + fast).to_milliwatts()
+    }
+
+    /// Total ambient power currently sensed at `node` (noise floor plus
+    /// every active transmission, excluding the node's own).
+    pub fn sensed(&self, node: NodeId) -> MilliWatts {
+        NOISE_FLOOR.to_milliwatts() + self.states[node.0].incoming
+    }
+
+    /// Whether `node` is currently transmitting.
+    pub fn is_transmitting(&self, node: NodeId) -> bool {
+        self.states[node.0].transmitting.is_some()
+    }
+
+    /// Whether `node` is currently locked onto (decoding) a frame —
+    /// the preamble-detection component of carrier sensing.
+    pub fn is_locked(&self, node: NodeId) -> bool {
+        self.states[node.0].lock.is_some()
+    }
+
+    /// Number of transmissions currently on the air.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Puts `frame` on the air from its source at `now`, lasting until
+    /// `end`. Returns the transmission id and the per-node notifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is already transmitting.
+    pub fn begin(&mut self, frame: Frame, now: SimTime, end: SimTime) -> (TxId, Vec<(NodeId, PhyNote)>) {
+        let src = frame.src.0;
+        assert!(
+            self.states[src].transmitting.is_none(),
+            "node {} started a second transmission",
+            frame.src
+        );
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+
+        // One fading draw per receiver, consistent for the frame's whole
+        // lifetime.
+        let powers: Vec<MilliWatts> = (0..self.positions.len())
+            .map(|n| {
+                if n == src {
+                    MilliWatts::ZERO
+                } else {
+                    self.sample_link_power(src, n)
+                }
+            })
+            .collect();
+
+        self.states[src].transmitting = Some(id);
+        // A transmitting node cannot keep receiving: it loses any lock.
+        self.states[src].lock = None;
+
+        let mut notes = Vec::new();
+        let capture = self.capture;
+        for n in 0..self.positions.len() {
+            if n == src {
+                continue;
+            }
+            let p = powers[n];
+            let state = &mut self.states[n];
+            let ambient = NOISE_FLOOR.to_milliwatts() + state.incoming;
+            let threshold = frame.rate.min_sinr().to_linear();
+            let decodable =
+                state.transmitting.is_none() && p.value() / ambient.value() >= threshold;
+            state.incoming += p;
+            let incoming_now = state.incoming;
+            let mut announced = false;
+            state.lock = match state.lock {
+                None if decodable => {
+                    announced = true;
+                    Some(RxLock {
+                        tx: id,
+                        signal: p,
+                        interference: ambient,
+                        hazard: 0.0,
+                        since: now,
+                        rate: frame.rate,
+                    })
+                }
+                None => None,
+                Some(mut lock) => {
+                    // Close the exposure span at the old interference
+                    // level, then raise it.
+                    lock.accrue(now);
+                    lock.interference =
+                        NOISE_FLOOR.to_milliwatts() + incoming_now - lock.signal;
+                    // Preamble capture: the new frame is decodable even
+                    // over the locked signal.
+                    if capture && decodable {
+                        announced = true;
+                        Some(RxLock {
+                            tx: id,
+                            signal: p,
+                            interference: ambient,
+                            hazard: 0.0,
+                            since: now,
+                            rate: frame.rate,
+                        })
+                    } else {
+                        Some(lock)
+                    }
+                }
+            };
+            if announced
+                && self.inband_announce
+                && matches!(frame.body, crate::frame::FrameBody::Data { .. })
+            {
+                notes.push((
+                    NodeId(n),
+                    PhyNote::Announce { link: (frame.src, frame.dst), data_end: end },
+                ));
+            }
+            notes.push((NodeId(n), PhyNote::Sense));
+        }
+
+        self.active.push(ActiveTx { id, frame, end, powers });
+        (id, notes)
+    }
+
+    /// Takes a transmission off the air at `now`, resolving receptions.
+    /// Returns per-node notifications (`Rx` for a successful receiver,
+    /// `TxDone` for the sender, `Sense` for everyone whose ambient power
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is not on the air.
+    pub fn end(&mut self, tx: TxId, now: SimTime) -> Vec<(NodeId, PhyNote)> {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.id == tx)
+            .unwrap_or_else(|| panic!("transmission {tx:?} not on the air"));
+        let ActiveTx { id, frame, powers, .. } = self.active.swap_remove(idx);
+
+        let src = frame.src.0;
+        self.states[src].transmitting = None;
+
+        let mut notes = Vec::new();
+        for n in 0..self.positions.len() {
+            if n == src {
+                continue;
+            }
+            self.states[n].incoming = self.states[n].incoming - powers[n];
+            if let Some(mut lock) = self.states[n].lock {
+                if lock.tx == id {
+                    // Close the final exposure span and draw survival.
+                    lock.accrue(now);
+                    self.states[n].lock = None;
+                    let survive = (-lock.hazard).exp();
+                    if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
+                        notes.push((
+                            NodeId(n),
+                            PhyNote::Rx { frame, rssi: lock.signal.to_dbm() },
+                        ));
+                    }
+                } else {
+                    // The locked frame's interference just dropped: close
+                    // its span at the old level.
+                    lock.accrue(now);
+                    lock.interference =
+                        NOISE_FLOOR.to_milliwatts() + self.states[n].incoming - lock.signal;
+                    self.states[n].lock = Some(lock);
+                }
+            }
+            notes.push((NodeId(n), PhyNote::Sense));
+        }
+        notes.push((NodeId(src), PhyNote::TxDone { frame }));
+        notes
+    }
+
+    /// The scheduled end time of an active transmission.
+    pub fn end_time(&self, tx: TxId) -> Option<SimTime> {
+        self.active.iter().find(|a| a.id == tx).map(|a| a.end)
+    }
+
+    /// The propagation channel in force.
+    pub fn channel(&self) -> &LogNormalShadowing {
+        &self.channel
+    }
+
+    /// True position of a node.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comap_mac::time::SimDuration;
+    use comap_radio::rates::Rate;
+    use comap_radio::units::Db;
+    use rand::SeedableRng;
+
+    use crate::frame::FrameBody;
+
+    /// A deterministic (σ = 0) medium: A at 0, B at 10 m, C at 200 m.
+    fn medium() -> Medium {
+        let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
+        Medium::new(
+            chan,
+            vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0), Position::new(200.0, 0.0)],
+            true,
+            StdRng::seed_from_u64(1),
+        )
+    }
+
+    fn data(src: usize, dst: usize) -> Frame {
+        Frame {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            body: FrameBody::Data { seq: 0, payload_bytes: 500, retry: false },
+            rate: Rate::Mbps11,
+        }
+    }
+
+    fn end_at(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn clean_frame_is_delivered() {
+        let mut m = medium();
+        let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        let notes = m.end(tx, end_at(1000));
+        let rx = notes.iter().find(|(n, note)| {
+            *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })
+        });
+        assert!(rx.is_some(), "B must receive: {notes:?}");
+        assert!(notes
+            .iter()
+            .any(|(n, note)| *n == NodeId(0) && matches!(note, PhyNote::TxDone { .. })));
+    }
+
+    #[test]
+    fn sensed_power_rises_and_falls() {
+        let mut m = medium();
+        let idle = m.sensed(NodeId(1));
+        let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        assert!(m.sensed(NodeId(1)).value() > idle.value() * 100.0);
+        m.end(tx, end_at(1000));
+        let after = m.sensed(NodeId(1));
+        assert!((after.value() - idle.value()).abs() < idle.value() * 1e-6);
+    }
+
+    #[test]
+    fn remote_node_barely_senses() {
+        let mut m = medium();
+        let (_tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        // At 200 m with α = 2.9: ~ −107 dBm, far below the −95 dBm floor.
+        let sensed = m.sensed(NodeId(2)).to_dbm();
+        assert!(sensed.value() < -94.0, "sensed = {sensed}");
+    }
+
+    #[test]
+    fn transmitting_node_cannot_receive() {
+        let mut m = medium();
+        let (tx_b, _) = m.begin(data(1, 2), SimTime::ZERO, end_at(1000));
+        let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        let notes = m.end(tx_a, end_at(1000));
+        assert!(
+            !notes.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            "B was transmitting and must miss A's frame"
+        );
+        m.end(tx_b, end_at(1000));
+    }
+
+    #[test]
+    fn collision_corrupts_the_weaker_frame() {
+        // C transmits to B from 190 m — far too weak; then A's strong
+        // frame arrives and (with capture) steals the lock.
+        let mut m = medium();
+        let (tx_c, _) = m.begin(data(2, 1), SimTime::ZERO, end_at(2000));
+        let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        let notes_a = m.end(tx_a, end_at(1000));
+        assert!(
+            notes_a.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            "A's frame captures: {notes_a:?}"
+        );
+        let notes_c = m.end(tx_c, end_at(2000));
+        assert!(
+            !notes_c.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            "C's frame is lost"
+        );
+    }
+
+    #[test]
+    fn without_capture_the_first_lock_sticks_and_dies() {
+        let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
+        let mut m = Medium::new(
+            chan,
+            vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0), Position::new(30.0, 0.0)],
+            false,
+            StdRng::seed_from_u64(1),
+        );
+        // C at 30 m from B(10 m): decodable alone. Then A's much stronger
+        // frame arrives: no capture, so the lock stays with C and is
+        // corrupted by A.
+        let (tx_c, _) = m.begin(data(2, 1), SimTime::ZERO, end_at(2000));
+        let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        let notes_a = m.end(tx_a, end_at(1000));
+        assert!(
+            !notes_a.iter().any(|(_, note)| matches!(note, PhyNote::Rx { .. })),
+            "A must not be received without capture"
+        );
+        let notes_c = m.end(tx_c, end_at(2000));
+        assert!(
+            !notes_c.iter().any(|(_, note)| matches!(note, PhyNote::Rx { .. })),
+            "C was corrupted by A"
+        );
+    }
+
+    #[test]
+    fn interference_high_water_mark_outlives_the_interferer() {
+        // Interferer overlaps only the first half of the frame; the frame
+        // must still be judged by the worst-case overlap. Capture is off
+        // so the lock provably stays with the first frame.
+        let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
+        let mut m = Medium::new(
+            chan,
+            vec![
+                Position::new(0.0, 0.0),   // A: sender
+                Position::new(30.0, 0.0),  // B: receiver (30 m)
+                Position::new(32.0, 0.0),  // C: close interferer
+            ],
+            false,
+            StdRng::seed_from_u64(1),
+        );
+        let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(2000));
+        let (tx_c, _) = m.begin(data(2, 0), SimTime::ZERO, end_at(500));
+        m.end(tx_c, end_at(2000)); // interferer gone before the frame ends
+        let notes = m.end(tx_a, end_at(1000));
+        assert!(
+            !notes.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            "frame must be corrupted by the transient interferer"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "second transmission")]
+    fn double_transmit_panics() {
+        let mut m = medium();
+        let _ = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        let _ = m.begin(data(0, 2), SimTime::ZERO, end_at(1000));
+    }
+}

@@ -1,0 +1,462 @@
+//! The simulation engine: event loop, wiring and reporting.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use comap_core::protocol::Protocol;
+use comap_mac::time::{SimDuration, SimTime};
+use comap_radio::Position;
+
+use crate::config::SimConfig;
+use crate::event::{Event, EventQueue};
+use crate::frame::NodeId;
+use crate::mac::{Mac, MacAction, MacConfig, MacCtx, MacEvent, StatEvent};
+use crate::medium::{Medium, PhyNote};
+use crate::stats::SimReport;
+use crate::trace::TraceLog;
+
+/// A configured, runnable simulation.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    medium: Medium,
+    queue: EventQueue,
+    now: SimTime,
+    macs: Vec<Mac>,
+    flow_gen: Vec<u64>,
+    resp_gen: Vec<u64>,
+    report: SimReport,
+    trace: TraceLog,
+    move_rng: StdRng,
+}
+
+impl Simulator {
+    /// Builds the simulation: medium, protocols (fed with *reported*
+    /// positions — true positions plus the configured error), MACs and
+    /// the initial traffic kicks.
+    pub fn new(cfg: SimConfig) -> Self {
+        let n = cfg.nodes.len();
+        assert!(n > 0, "a simulation needs at least one node");
+        let true_positions: Vec<Position> = cfg.nodes.iter().map(|s| s.position).collect();
+
+        // Independent, seed-derived RNG streams.
+        let medium_rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut error_rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A09_E667_F3BC_C909);
+
+        let reported: Vec<Position> = true_positions
+            .iter()
+            .map(|p| p.with_error(cfg.position_error, &mut error_rng))
+            .collect();
+
+        let mut medium = Medium::new(
+            cfg.protocol.channel,
+            true_positions.clone(),
+            cfg.capture,
+            medium_rng,
+        );
+        medium.set_inband_announce(cfg.inband_header);
+
+        let mut macs = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = NodeId(i);
+            let features = cfg.features_of(id);
+            let proto = if features.any() {
+                let mut p = Protocol::new(id, cfg.protocol);
+                p.set_own_position(reported[i]);
+                for j in 0..n {
+                    if j != i {
+                        p.on_position_report(NodeId(j), reported[j]);
+                    }
+                }
+                Some(p)
+            } else {
+                None
+            };
+            let mac_cfg = MacConfig {
+                id,
+                features,
+                phy: cfg.protocol.phy,
+                rate_ctl: cfg.rate_controller,
+                channel: cfg.protocol.channel,
+                true_positions: true_positions.clone(),
+                t_cs: cfg.protocol.t_cs,
+                backoff: cfg.backoff,
+                payload_bytes: cfg.nodes[i].payload.unwrap_or(cfg.payload_bytes),
+                retry_limit: cfg.retry_limit,
+                arq_window: cfg.protocol.arq_window,
+                preamble_cs: cfg.preamble_cs,
+            };
+            let mac_rng = StdRng::seed_from_u64(
+                cfg.seed.wrapping_mul(0x100_0000_01B3).wrapping_add(i as u64),
+            );
+            let mut mac = Mac::new(mac_cfg, proto, mac_rng);
+            for flow in cfg.flows_from(id) {
+                mac.add_flow(flow.dst, flow.traffic);
+            }
+            macs.push(mac);
+        }
+
+        let mut queue = EventQueue::new();
+        for i in 0..n {
+            queue.schedule(SimTime::ZERO, Event::TrafficWakeup { node: NodeId(i) });
+            for (step, mv) in cfg.nodes[i].moves.iter().enumerate() {
+                queue.schedule(SimTime::ZERO + mv.at, Event::Mobility { node: NodeId(i), step });
+            }
+        }
+
+        let trace = TraceLog::new(cfg.trace);
+        let move_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBB67_AE85_84CA_A73B);
+        Simulator {
+            cfg,
+            medium,
+            queue,
+            now: SimTime::ZERO,
+            macs,
+            flow_gen: vec![0; n],
+            resp_gen: vec![0; n],
+            report: SimReport::default(),
+            trace,
+            move_rng,
+        }
+    }
+
+    /// Runs the simulation for `duration` of simulated time and returns
+    /// the report.
+    pub fn run(self, duration: SimDuration) -> SimReport {
+        self.run_traced(duration).0
+    }
+
+    /// Runs and also returns the trace log (timeline example).
+    pub fn run_traced(mut self, duration: SimDuration) -> (SimReport, TraceLog) {
+        let end = SimTime::ZERO + duration;
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event exists");
+            self.now = t;
+            self.report.events += 1;
+            match event {
+                Event::TxEnd(tx) => {
+                    let notes = self.medium.end(tx, self.now);
+                    self.dispatch_notes(notes);
+                }
+                Event::FlowTimer { node, gen } => {
+                    if self.flow_gen[node.0] == gen {
+                        self.dispatch(node, MacEvent::FlowTimer);
+                    }
+                }
+                Event::ResponderTimer { node, gen } => {
+                    if self.resp_gen[node.0] == gen {
+                        self.dispatch(node, MacEvent::ResponderTimer);
+                    }
+                }
+                Event::TrafficWakeup { node } => {
+                    self.dispatch(node, MacEvent::Traffic);
+                }
+                Event::Mobility { node, step } => self.apply_move(node, step),
+            }
+        }
+        self.report.duration = duration;
+        (self.report, self.trace)
+    }
+
+    /// Human-readable node name.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.cfg.nodes[node.0].name
+    }
+
+    /// Executes a scheduled movement: physics first, then the location
+    /// service decides whether to broadcast; accepted reports reach every
+    /// protocol instance (the APs disseminate them, as in the paper).
+    fn apply_move(&mut self, node: NodeId, step: usize) {
+        let mv = self.cfg.nodes[node.0].moves[step];
+        self.medium.set_position(node, mv.to);
+        // The mover's localization fix carries the configured error.
+        let fix = mv.to.with_error(self.cfg.position_error, &mut self.move_rng);
+        let n = self.macs.len();
+        for i in 0..n {
+            if i != node.0 {
+                self.macs[i].on_neighbor_moved(node, mv.to);
+            }
+        }
+        if let Some(report) = self.macs[node.0].on_moved(mv.to, fix) {
+            self.report.position_reports += 1;
+            for i in 0..n {
+                if i != node.0 {
+                    self.macs[i].on_position_report(node, report);
+                }
+            }
+        }
+        // Geometry changed: every MAC re-evaluates its channel state.
+        for i in 0..n {
+            self.dispatch(NodeId(i), MacEvent::Sense);
+        }
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: MacEvent) {
+        let mut work: VecDeque<(NodeId, MacEvent)> = VecDeque::new();
+        work.push_back((node, event));
+        self.drain(work);
+    }
+
+    fn dispatch_notes(&mut self, notes: Vec<(NodeId, PhyNote)>) {
+        let mut work: VecDeque<(NodeId, MacEvent)> = VecDeque::new();
+        for (n, note) in notes {
+            match note {
+                PhyNote::Sense => work.push_back((n, MacEvent::Sense)),
+                PhyNote::Rx { frame, rssi } => work.push_back((n, MacEvent::Rx { frame, rssi })),
+                PhyNote::TxDone { frame } => work.push_back((n, MacEvent::TxDone { frame })),
+                PhyNote::Announce { link, data_end } => {
+                    work.push_back((n, MacEvent::Announce { link, data_end }))
+                }
+            }
+        }
+        self.drain(work);
+    }
+
+    fn drain(&mut self, mut work: VecDeque<(NodeId, MacEvent)>) {
+        while let Some((node, event)) = work.pop_front() {
+            let ctx = MacCtx {
+                now: self.now,
+                sensed: self.medium.sensed(node),
+                transmitting: self.medium.is_transmitting(node),
+                locked: self.medium.is_locked(node),
+            };
+            let actions = self.macs[node.0].handle(event, ctx);
+            for action in actions {
+                self.apply(node, action, &mut work);
+            }
+        }
+    }
+
+    fn apply(&mut self, node: NodeId, action: MacAction, work: &mut VecDeque<(NodeId, MacEvent)>) {
+        match action {
+            MacAction::ArmFlowTimer(at) => {
+                self.flow_gen[node.0] += 1;
+                self.queue.schedule(at, Event::FlowTimer { node, gen: self.flow_gen[node.0] });
+            }
+            MacAction::CancelFlowTimer => {
+                self.flow_gen[node.0] += 1;
+            }
+            MacAction::ArmResponderTimer(at) => {
+                self.resp_gen[node.0] += 1;
+                self.queue
+                    .schedule(at, Event::ResponderTimer { node, gen: self.resp_gen[node.0] });
+            }
+            MacAction::ScheduleTraffic(at) => {
+                self.queue.schedule(at, Event::TrafficWakeup { node });
+            }
+            MacAction::Transmit(frame) => {
+                let duration =
+                    self.cfg.protocol.phy.frame_duration(frame.on_air_bytes(), frame.rate);
+                let end = self.now + duration;
+                let (tx, notes) = self.medium.begin(frame, self.now, end);
+                self.queue.schedule(end, Event::TxEnd(tx));
+                self.report.node_mut(node).airtime += duration;
+                for (n, note) in notes {
+                    match note {
+                        PhyNote::Sense => work.push_back((n, MacEvent::Sense)),
+                        PhyNote::Announce { link, data_end } => {
+                            work.push_back((n, MacEvent::Announce { link, data_end }))
+                        }
+                        // begin() produces no receptions or completions.
+                        PhyNote::Rx { .. } | PhyNote::TxDone { .. } => {}
+                    }
+                }
+            }
+            MacAction::Stat(stat) => self.account(node, stat),
+            MacAction::Trace(ev) => self.trace.push(self.now, ev),
+        }
+    }
+
+    fn account(&mut self, node: NodeId, stat: StatEvent) {
+        match stat {
+            StatEvent::DataTx { dst } => {
+                self.report.link_mut(node, dst).data_tx += 1;
+            }
+            StatEvent::Delivered { src, bytes } => {
+                let link = self.report.link_mut(src, node);
+                link.delivered_bytes += u64::from(bytes);
+                link.delivered_frames += 1;
+            }
+            StatEvent::AckTimeout { dst } => {
+                self.report.link_mut(node, dst).ack_timeouts += 1;
+            }
+            StatEvent::Drop { dst } => {
+                self.report.link_mut(node, dst).drops += 1;
+            }
+            StatEvent::ConcurrentTx => {
+                self.report.node_mut(node).concurrent_tx += 1;
+            }
+            StatEvent::EtAbandon => {
+                self.report.node_mut(node).et_abandons += 1;
+            }
+            StatEvent::HeaderHeard => {
+                self.report.node_mut(node).headers_heard += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MacFeatures, NodeSpec, Traffic};
+    use comap_radio::rates::Rate;
+
+    fn two_node_cfg(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::testbed(seed);
+        cfg.rate_controller = crate::rate::RateController::Fixed(Rate::Mbps11);
+        let a = cfg.add_node(NodeSpec::client("C1", Position::new(0.0, 0.0)));
+        let b = cfg.add_node(NodeSpec::ap("AP1", Position::new(8.0, 0.0)));
+        cfg.add_flow(a, b, Traffic::Saturated);
+        cfg
+    }
+
+    #[test]
+    fn lone_saturated_link_reaches_expected_goodput() {
+        let report = Simulator::new(two_node_cfg(1)).run(SimDuration::from_millis(500));
+        let goodput = report.link_goodput_bps(NodeId(0), NodeId(1));
+        // 1000-byte frames at 11 Mbps, long preamble, CW 31:
+        // cycle ≈ 310 + 939.6 + 10 + 304 + 50 µs ≈ 1.61 ms → ≈ 5 Mbps.
+        assert!(goodput > 4.0e6 && goodput < 6.5e6, "goodput = {goodput}");
+    }
+
+    #[test]
+    fn cbr_flow_is_paced() {
+        let mut cfg = two_node_cfg(2);
+        cfg.flows.clear();
+        cfg.add_flow(NodeId(0), NodeId(1), Traffic::Cbr { bps: 1.0e6 });
+        let report = Simulator::new(cfg).run(SimDuration::from_secs(1));
+        let goodput = report.link_goodput_bps(NodeId(0), NodeId(1));
+        assert!(
+            (goodput - 1.0e6).abs() < 0.12e6,
+            "CBR goodput should track the offered 1 Mbps, got {goodput}"
+        );
+    }
+
+    #[test]
+    fn contenders_share_the_channel() {
+        let mut cfg = SimConfig::testbed(3);
+        cfg.rate_controller = crate::rate::RateController::Fixed(Rate::Mbps11);
+        let a = cfg.add_node(NodeSpec::client("C1", Position::new(0.0, 0.0)));
+        let b = cfg.add_node(NodeSpec::client("C2", Position::new(2.0, 0.0)));
+        let ap = cfg.add_node(NodeSpec::ap("AP", Position::new(5.0, 0.0)));
+        cfg.add_flow(a, ap, Traffic::Saturated);
+        cfg.add_flow(b, ap, Traffic::Saturated);
+        let report = Simulator::new(cfg).run(SimDuration::from_millis(500));
+        let ga = report.link_goodput_bps(a, ap);
+        let gb = report.link_goodput_bps(b, ap);
+        assert!(ga > 1.5e6 && gb > 1.5e6, "both links must progress: {ga} / {gb}");
+        let ratio = ga / gb;
+        assert!(ratio > 0.6 && ratio < 1.67, "roughly fair sharing, ratio = {ratio}");
+    }
+
+    #[test]
+    fn hidden_terminal_degrades_goodput() {
+        // Fig. 2 geometry: C1 at 0, AP1 at 15 m, C2 (hidden) at 37 m
+        // transmitting to AP2 at 49 m.
+        let mut cfg = SimConfig::testbed(4);
+        cfg.rate_controller = crate::rate::RateController::Fixed(Rate::Mbps11);
+        let c1 = cfg.add_node(NodeSpec::client("C1", Position::new(0.0, 0.0)));
+        let ap1 = cfg.add_node(NodeSpec::ap("AP1", Position::new(15.0, 0.0)));
+        let c2 = cfg.add_node(NodeSpec::client("C2", Position::new(37.0, 0.0)));
+        let ap2 = cfg.add_node(NodeSpec::ap("AP2", Position::new(49.0, 0.0)));
+        cfg.add_flow(c1, ap1, Traffic::Saturated);
+        cfg.add_flow(c2, ap2, Traffic::Saturated);
+        let report = Simulator::new(cfg).run(SimDuration::from_millis(500));
+        let with_ht = report.link_goodput_bps(c1, ap1);
+
+        let clean = Simulator::new(two_node_cfg(4)).run(SimDuration::from_millis(500));
+        let alone = clean.link_goodput_bps(NodeId(0), NodeId(1));
+        assert!(
+            with_ht < 0.75 * alone,
+            "hidden terminal must hurt: {with_ht} vs clean {alone}"
+        );
+        let stats = report.links[&(c1, ap1)];
+        assert!(stats.ack_timeouts > 0, "collisions must show up as ACK timeouts");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let r1 = Simulator::new(two_node_cfg(7)).run(SimDuration::from_millis(300));
+        let r2 = Simulator::new(two_node_cfg(7)).run(SimDuration::from_millis(300));
+        assert_eq!(r1.links, r2.links);
+        assert_eq!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let r1 = Simulator::new(two_node_cfg(8)).run(SimDuration::from_millis(300));
+        let r2 = Simulator::new(two_node_cfg(9)).run(SimDuration::from_millis(300));
+        assert_ne!(r1.events, r2.events);
+    }
+
+    #[test]
+    fn comap_features_do_not_break_a_lone_link() {
+        let mut cfg = two_node_cfg(10);
+        cfg.default_features = MacFeatures::COMAP;
+        let report = Simulator::new(cfg).run(SimDuration::from_millis(500));
+        let goodput = report.link_goodput_bps(NodeId(0), NodeId(1));
+        // Headers cost airtime but the link must still run well.
+        assert!(goodput > 2.5e6, "CO-MAP lone-link goodput = {goodput}");
+    }
+
+    #[test]
+    fn rts_cts_baseline_still_delivers() {
+        let mut cfg = two_node_cfg(12);
+        cfg.default_features = MacFeatures::DCF_RTS_CTS;
+        let report = Simulator::new(cfg).run(SimDuration::from_millis(500));
+        let goodput = report.link_goodput_bps(NodeId(0), NodeId(1));
+        // The handshake costs two control frames per exchange but the
+        // link must still run well.
+        assert!(goodput > 2.0e6, "RTS/CTS goodput = {goodput}");
+        let plain = Simulator::new(two_node_cfg(12)).run(SimDuration::from_millis(500));
+        assert!(
+            goodput < plain.link_goodput_bps(NodeId(0), NodeId(1)),
+            "the handshake is pure overhead on a lone link"
+        );
+    }
+
+    #[test]
+    fn rts_cts_protects_against_hidden_terminals() {
+        // Fig. 2 geometry: the HT hears AP1's CTS even though it cannot
+        // hear C1, so collisions drop relative to plain DCF.
+        let build = |features: MacFeatures, seed: u64| {
+            let mut cfg = SimConfig::testbed(seed);
+            cfg.rate_controller = crate::rate::RateController::Fixed(Rate::Mbps11);
+            cfg.default_features = features;
+            let c1 = cfg.add_node(NodeSpec::client("C1", Position::new(0.0, 0.0)));
+            let ap1 = cfg.add_node(NodeSpec::ap("AP1", Position::new(15.0, 0.0)));
+            let c2 = cfg.add_node(NodeSpec::client("C2", Position::new(37.0, 0.0)));
+            let ap2 = cfg.add_node(NodeSpec::ap("AP2", Position::new(49.0, 0.0)));
+            cfg.add_flow(c1, ap1, Traffic::Saturated);
+            cfg.add_flow(c2, ap2, Traffic::Saturated);
+            cfg
+        };
+        let mut plain_timeouts = 0;
+        let mut rts_timeouts = 0;
+        for seed in [21, 22, 23] {
+            let plain = Simulator::new(build(MacFeatures::DCF, seed))
+                .run(SimDuration::from_millis(800));
+            plain_timeouts += plain.links[&(NodeId(0), NodeId(1))].ack_timeouts;
+            let rts = Simulator::new(build(MacFeatures::DCF_RTS_CTS, seed))
+                .run(SimDuration::from_millis(800));
+            rts_timeouts += rts.links[&(NodeId(0), NodeId(1))].ack_timeouts;
+        }
+        assert!(
+            rts_timeouts < plain_timeouts,
+            "virtual carrier sense must reduce HT collisions: {rts_timeouts} vs {plain_timeouts}"
+        );
+    }
+
+    #[test]
+    fn node_names_are_preserved() {
+        let sim = Simulator::new(two_node_cfg(1));
+        assert_eq!(sim.node_name(NodeId(0)), "C1");
+        assert_eq!(sim.node_name(NodeId(1)), "AP1");
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-link and per-node statistics, aggregated into a [`SimReport`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use comap_mac::time::SimDuration;
+
+use crate::frame::NodeId;
+
+/// Counters of one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Unique payload bytes delivered (duplicates excluded).
+    pub delivered_bytes: u64,
+    /// Unique data frames delivered.
+    pub delivered_frames: u64,
+    /// Data-frame transmissions attempted (including retransmissions).
+    pub data_tx: u64,
+    /// ACK timeouts observed by the sender.
+    pub ack_timeouts: u64,
+    /// Frames abandoned after the retry limit.
+    pub drops: u64,
+}
+
+/// Counters of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Time spent transmitting anything.
+    pub airtime: SimDuration,
+    /// Concurrent (exposed-terminal) transmissions started by CO-MAP.
+    pub concurrent_tx: u64,
+    /// Exposed opportunities abandoned by the RSSI watchdog.
+    pub et_abandons: u64,
+    /// Discovery headers decoded.
+    pub headers_heard: u64,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Per-directed-link counters.
+    pub links: BTreeMap<(NodeId, NodeId), LinkStats>,
+    /// Per-node counters.
+    pub nodes: BTreeMap<NodeId, NodeStats>,
+    /// Total events processed (diagnostics).
+    pub events: u64,
+    /// Position reports broadcast by moving nodes (the protocol's
+    /// location-sharing overhead).
+    pub position_reports: u64,
+}
+
+impl SimReport {
+    /// Goodput of the directed link `src → dst` in payload bits/s.
+    pub fn link_goodput_bps(&self, src: NodeId, dst: NodeId) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.links
+            .get(&(src, dst))
+            .map(|l| l.delivered_bytes as f64 * 8.0 / secs)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of goodput over every link, in bits/s.
+    pub fn aggregate_goodput_bps(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.links.values().map(|l| l.delivered_bytes as f64).sum::<f64>() * 8.0 / secs
+    }
+
+    /// Goodput of every link, ordered by `(src, dst)`.
+    pub fn per_link_goodputs(&self) -> Vec<((NodeId, NodeId), f64)> {
+        self.links
+            .keys()
+            .map(|&(s, d)| ((s, d), self.link_goodput_bps(s, d)))
+            .collect()
+    }
+
+    /// Frame delivery ratio of one link (`delivered / attempted`, counting
+    /// retransmissions as attempts).
+    pub fn link_delivery_ratio(&self, src: NodeId, dst: NodeId) -> f64 {
+        match self.links.get(&(src, dst)) {
+            Some(l) if l.data_tx > 0 => l.delivered_frames as f64 / l.data_tx as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Mutable access to a link's counters, creating them if absent.
+    pub fn link_mut(&mut self, src: NodeId, dst: NodeId) -> &mut LinkStats {
+        self.links.entry((src, dst)).or_default()
+    }
+
+    /// Mutable access to a node's counters, creating them if absent.
+    pub fn node_mut(&mut self, node: NodeId) -> &mut NodeStats {
+        self.nodes.entry(node).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_accounts_bits_per_second() {
+        let mut r = SimReport { duration: SimDuration::from_secs(2), ..Default::default() };
+        r.link_mut(NodeId(0), NodeId(1)).delivered_bytes = 250_000;
+        assert_eq!(r.link_goodput_bps(NodeId(0), NodeId(1)), 1_000_000.0);
+        assert_eq!(r.link_goodput_bps(NodeId(1), NodeId(0)), 0.0);
+        assert_eq!(r.aggregate_goodput_bps(), 1_000_000.0);
+    }
+
+    #[test]
+    fn zero_duration_is_zero_goodput() {
+        let mut r = SimReport::default();
+        r.link_mut(NodeId(0), NodeId(1)).delivered_bytes = 100;
+        assert_eq!(r.link_goodput_bps(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn delivery_ratio() {
+        let mut r = SimReport { duration: SimDuration::from_secs(1), ..Default::default() };
+        let l = r.link_mut(NodeId(0), NodeId(1));
+        l.data_tx = 10;
+        l.delivered_frames = 7;
+        assert_eq!(r.link_delivery_ratio(NodeId(0), NodeId(1)), 0.7);
+        assert_eq!(r.link_delivery_ratio(NodeId(2), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn per_link_listing_is_ordered() {
+        let mut r = SimReport { duration: SimDuration::from_secs(1), ..Default::default() };
+        r.link_mut(NodeId(2), NodeId(0)).delivered_bytes = 1;
+        r.link_mut(NodeId(0), NodeId(1)).delivered_bytes = 1;
+        let keys: Vec<_> = r.per_link_goodputs().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(0))]);
+    }
+}

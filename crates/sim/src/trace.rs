@@ -1,0 +1,110 @@
+//! Optional event tracing, used by the timeline example to reproduce the
+//! paper's Fig. 6 communication-procedure diagrams.
+
+use std::fmt;
+
+use comap_mac::time::SimTime;
+
+use crate::frame::NodeId;
+
+/// One traced MAC/PHY event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A transmission started.
+    TxStart {
+        /// Transmitter.
+        node: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// Short label ("HDR", "DATA", "ACK").
+        what: &'static str,
+    },
+    /// A transmission ended.
+    TxEnd {
+        /// Transmitter.
+        node: NodeId,
+    },
+    /// A node froze its backoff because the channel went busy.
+    Defer {
+        /// The deferring node.
+        node: NodeId,
+    },
+    /// A node entered the exposed-terminal opportunity window.
+    EtOpportunity {
+        /// The exposed terminal.
+        node: NodeId,
+    },
+    /// A node abandoned its opportunity (RSSI watchdog).
+    EtAbandon {
+        /// The abandoning node.
+        node: NodeId,
+    },
+    /// A frame was delivered.
+    Delivered {
+        /// Receiving node.
+        node: NodeId,
+        /// Originating node.
+        from: NodeId,
+    },
+}
+
+/// A time-stamped log of [`TraceEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Vec<(SimTime, TraceEvent)>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates a log; a disabled log drops everything pushed into it.
+    pub fn new(enabled: bool) -> Self {
+        TraceLog { events: Vec::new(), enabled }
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn push(&mut self, time: SimTime, event: TraceEvent) {
+        if self.enabled {
+            self.events.push((time, event));
+        }
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.events {
+            writeln!(f, "{t} {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_drops_events() {
+        let mut log = TraceLog::new(false);
+        log.push(SimTime::ZERO, TraceEvent::TxEnd { node: NodeId(0) });
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::new(true);
+        log.push(SimTime::ZERO, TraceEvent::Defer { node: NodeId(1) });
+        log.push(SimTime::from_nanos(5), TraceEvent::TxEnd { node: NodeId(1) });
+        assert_eq!(log.events().len(), 2);
+        assert!(log.to_string().contains("Defer"));
+    }
+}

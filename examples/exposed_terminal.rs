@@ -1,0 +1,40 @@
+//! Exposed-terminal scenario: the paper's Fig. 8 testbed at one C2
+//! position, run under basic DCF and under CO-MAP, with the protocol
+//! counters that explain the difference.
+//!
+//! Run with `cargo run --release --example exposed_terminal`.
+
+use comap::experiments::topology::et_testbed;
+use comap::mac::SimDuration;
+use comap::sim::config::MacFeatures;
+use comap::sim::Simulator;
+
+fn main() {
+    let c2_position = 26.0; // meters from AP1: inside the exposed region
+    let duration = SimDuration::from_secs(2);
+
+    println!("ET testbed, C2 at {c2_position} m from AP1, {duration} of air time\n");
+    for (name, features) in [("basic DCF", MacFeatures::DCF), ("CO-MAP", MacFeatures::COMAP)] {
+        let (cfg, ids) = et_testbed(c2_position, features, 1);
+        let report = Simulator::new(cfg).run(duration);
+        let g1 = report.link_goodput_bps(ids.c1, ids.ap1);
+        let g2 = report.link_goodput_bps(ids.c2, ids.ap2);
+        println!("{name}:");
+        println!("  C1 → AP1: {:>6.2} Mbps", g1 / 1e6);
+        println!("  C2 → AP2: {:>6.2} Mbps", g2 / 1e6);
+        if let Some(stats) = report.nodes.get(&ids.c1) {
+            if features.et_concurrency {
+                println!(
+                    "  C1 heard {} discovery headers, transmitted concurrently {} times, \
+                     abandoned {} opportunities",
+                    stats.headers_heard, stats.concurrent_tx, stats.et_abandons
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "CO-MAP validates C2's ongoing transmissions against its co-occurrence map\n\
+         and rides alongside them instead of deferring — both links gain."
+    );
+}

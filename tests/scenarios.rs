@@ -1,0 +1,162 @@
+//! End-to-end scenario checks: the paper's headline claims must hold in
+//! sign and rough shape at small scale. These are the repository's
+//! "reproduction smoke tests"; the full-scale numbers live in
+//! EXPERIMENTS.md.
+
+use comap::experiments::topology::{et_testbed, fig9_topology, ht_testbed, validation_cell};
+use comap::mac::SimDuration;
+use comap::sim::config::MacFeatures;
+use comap::sim::Simulator;
+
+const DUR: SimDuration = SimDuration::from_millis(1500);
+
+fn mean<F: Fn(u64) -> f64>(f: F, seeds: &[u64]) -> f64 {
+    seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
+}
+
+#[test]
+fn exposed_region_comap_beats_dcf() {
+    // Fig. 8's core claim at C2 = 26 m.
+    let g = |features: MacFeatures| {
+        mean(
+            |seed| {
+                let (cfg, ids) = et_testbed(26.0, features, seed);
+                Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+            },
+            &[1, 2, 3],
+        )
+    };
+    let dcf = g(MacFeatures::DCF);
+    let comap = g(MacFeatures::COMAP);
+    assert!(
+        comap > 1.2 * dcf,
+        "CO-MAP must clearly win in the exposed region: {comap:.0} vs {dcf:.0}"
+    );
+}
+
+#[test]
+fn outside_the_exposed_region_comap_does_not_lose() {
+    // At C2 = 12 m concurrency is denied; CO-MAP must stay competitive.
+    let g = |features: MacFeatures| {
+        mean(
+            |seed| {
+                let (cfg, ids) = et_testbed(12.0, features, seed);
+                Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+            },
+            &[1, 2, 3],
+        )
+    };
+    assert!(g(MacFeatures::COMAP) > 0.85 * g(MacFeatures::DCF));
+}
+
+#[test]
+fn both_links_gain_under_comap() {
+    // Paper: "their goodputs are both improved significantly".
+    let (cfg, ids) = et_testbed(28.0, MacFeatures::COMAP, 1);
+    let comap = Simulator::new(cfg).run(DUR);
+    let (cfg, _) = et_testbed(28.0, MacFeatures::DCF, 1);
+    let dcf = Simulator::new(cfg).run(DUR);
+    let sum_comap = comap.link_goodput_bps(ids.c1, ids.ap1) + comap.link_goodput_bps(ids.c2, ids.ap2);
+    let sum_dcf = dcf.link_goodput_bps(ids.c1, ids.ap1) + dcf.link_goodput_bps(ids.c2, ids.ap2);
+    assert!(sum_comap > 1.15 * sum_dcf, "{sum_comap:.0} vs {sum_dcf:.0}");
+}
+
+#[test]
+fn hidden_terminals_hurt_and_scale() {
+    // Fig. 2's monotone damage: 0 < 1 < 3 hidden terminals.
+    let g = |n_ht: usize| {
+        mean(
+            |seed| {
+                let (cfg, ids) = ht_testbed(1000, n_ht, MacFeatures::DCF, seed);
+                Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+            },
+            &[1, 2, 3],
+        )
+    };
+    let (g0, g1, g3) = (g(0), g(1), g(3));
+    assert!(g1 < 0.85 * g0, "one HT must hurt: {g1:.0} vs {g0:.0}");
+    assert!(g3 < 0.6 * g1, "three HTs must hurt much more: {g3:.0} vs {g1:.0}");
+}
+
+#[test]
+fn ht_penalty_grows_with_payload() {
+    // The mechanism behind packet-size adaptation: relative HT damage is
+    // worse for bigger frames.
+    let ratio = |payload: u32| {
+        let g = |n_ht: usize| {
+            mean(
+                |seed| {
+                    let (cfg, ids) = ht_testbed(payload, n_ht, MacFeatures::DCF, seed);
+                    Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+                },
+                &[1, 2],
+            )
+        };
+        g(1) / g(0)
+    };
+    let small = ratio(400);
+    let large = ratio(2000);
+    assert!(
+        large < small + 0.02,
+        "relative HT survival must not improve with payload: {small:.3} -> {large:.3}"
+    );
+}
+
+#[test]
+fn fig9_role_mixes_order_dcf_goodput() {
+    // More hidden terminals in the mix ⇒ less DCF goodput. Compare the
+    // all-contender mix (0) against the all-hidden mix (6).
+    let g = |index: usize| {
+        mean(
+            |seed| {
+                let (cfg, t) = fig9_topology(index, MacFeatures::DCF, seed * 97 + 13);
+                Simulator::new(cfg).run(DUR).link_goodput_bps(t.c1, t.ap1)
+            },
+            &[1, 2],
+        )
+    };
+    let all_independent = g(9);
+    let all_hidden = g(6);
+    assert!(
+        all_hidden < 0.5 * all_independent,
+        "hidden mix {all_hidden:.0} vs independent mix {all_independent:.0}"
+    );
+}
+
+#[test]
+fn validation_cell_matches_model_without_hts() {
+    // Fig. 7 ground truth at one point: σ = 0, W = 63, no hidden
+    // terminals — simulation within a third of the analytical value.
+    use comap::core::model::{DcfModel, ModelInput};
+    let (cfg, cell) = validation_cell(5, 0, 63, 1000, 1);
+    let report = Simulator::new(cfg).run(SimDuration::from_secs(2));
+    let sim: f64 = cell
+        .clients
+        .iter()
+        .map(|&c| report.link_goodput_bps(c, cell.ap))
+        .sum::<f64>()
+        / cell.clients.len() as f64;
+    let model = DcfModel::per_node_goodput(&ModelInput {
+        phy: comap::mac::PhyTiming::dsss(),
+        rate: comap::radio::rates::Rate::Mbps11,
+        cw: 63,
+        contenders: 4,
+        hidden: 0,
+        payload_bytes: 1000,
+        hidden_profile: None,
+    });
+    let err = (sim - model).abs() / model;
+    assert!(err < 0.34, "model {model:.0} vs sim {sim:.0} ({err:.2} rel err)");
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let run = || {
+        let (cfg, _t) = fig9_topology(4, MacFeatures::COMAP, 11);
+        Simulator::new(cfg).run(DUR)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.links, b.links);
+    assert_eq!(a.events, b.events);
+}
