@@ -68,7 +68,12 @@ impl AdaptationTable {
     /// [`DEFAULT_MAX_PAYLOAD`] and hidden terminals modelled as stock DCF
     /// stations ([`HiddenProfile::DCF_DEFAULT`]) — they keep *their* window
     /// whatever we install for ourselves.
-    pub fn precompute(phy: PhyTiming, rate: Rate, max_hidden: usize, max_contenders: usize) -> Self {
+    pub fn precompute(
+        phy: PhyTiming,
+        rate: Rate,
+        max_hidden: usize,
+        max_contenders: usize,
+    ) -> Self {
         Self::precompute_with(
             phy,
             rate,
@@ -93,7 +98,10 @@ impl AdaptationTable {
         hidden_profile: Option<HiddenProfile>,
         cw_choices: &[u32],
     ) -> Self {
-        assert!(!cw_choices.is_empty(), "at least one window candidate required");
+        assert!(
+            !cw_choices.is_empty(),
+            "at least one window candidate required"
+        );
         let mut settings = Vec::with_capacity((max_hidden + 1) * (max_contenders + 1));
         for h in 0..=max_hidden {
             for c in 0..=max_contenders {
@@ -108,7 +116,11 @@ impl AdaptationTable {
                 ));
             }
         }
-        AdaptationTable { max_hidden, max_contenders, settings }
+        AdaptationTable {
+            max_hidden,
+            max_contenders,
+            settings,
+        }
     }
 
     /// Grid-argmax of the analytical model for one `(h, c)` cell.
@@ -121,7 +133,11 @@ impl AdaptationTable {
         hidden_profile: Option<HiddenProfile>,
         cw_choices: &[u32],
     ) -> TxSetting {
-        let mut best = TxSetting { cw: cw_choices[0], payload_bytes: 100, predicted_goodput: f64::MIN };
+        let mut best = TxSetting {
+            cw: cw_choices[0],
+            payload_bytes: 100,
+            predicted_goodput: f64::MIN,
+        };
         for &cw in cw_choices {
             for payload_bytes in payload_candidates().filter(|&p| p <= max_payload) {
                 let input = ModelInput {
@@ -135,7 +151,11 @@ impl AdaptationTable {
                 };
                 let goodput = DcfModel::per_node_goodput(&input);
                 if goodput > best.predicted_goodput {
-                    best = TxSetting { cw, payload_bytes, predicted_goodput: goodput };
+                    best = TxSetting {
+                        cw,
+                        payload_bytes,
+                        predicted_goodput: goodput,
+                    };
                 }
             }
         }
@@ -175,7 +195,10 @@ mod tests {
         // achieved with the largest payload length and a small CW size".
         let t = table();
         let s = t.setting(0, 4);
-        assert_eq!(s.payload_bytes, DEFAULT_MAX_PAYLOAD, "largest payload, got {s:?}");
+        assert_eq!(
+            s.payload_bytes, DEFAULT_MAX_PAYLOAD,
+            "largest payload, got {s:?}"
+        );
         assert!(s.cw <= 127, "small window, got {s:?}");
     }
 
@@ -191,7 +214,10 @@ mod tests {
         // Under the heterogeneous model, growing our own window cannot
         // slow down the hidden terminals, so the optimizer must not pick
         // a pointlessly passive window either.
-        assert!(noisy.cw <= 255, "window should stay reactive, got {noisy:?}");
+        assert!(
+            noisy.cw <= 255,
+            "window should stay reactive, got {noisy:?}"
+        );
     }
 
     #[test]

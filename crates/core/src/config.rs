@@ -27,7 +27,9 @@ impl MobilityConfig {
     /// paper prescribes ("we set it to the half of the highest position
     /// inaccuracy we can tolerate").
     pub fn for_tolerated_inaccuracy(inaccuracy: Meters) -> Self {
-        MobilityConfig { update_threshold: inaccuracy * 0.5 }
+        MobilityConfig {
+            update_threshold: inaccuracy * 0.5,
+        }
     }
 }
 
@@ -112,7 +114,10 @@ impl ProtocolConfig {
             model_rate: Rate::Mbps11,
             arq_window: 8,
             mobility: MobilityConfig::default(),
-            hidden_profile: HiddenProfile { cw: 511, payload_bytes: 1000 },
+            hidden_profile: HiddenProfile {
+                cw: 511,
+                payload_bytes: 1000,
+            },
             max_adapted_payload: crate::adapt::DEFAULT_MAX_PAYLOAD,
             adapt_cw: true,
         }
@@ -137,7 +142,10 @@ impl ProtocolConfig {
             model_rate: Rate::Mbps6,
             arq_window: 8,
             mobility: MobilityConfig::default(),
-            hidden_profile: HiddenProfile { cw: 511, payload_bytes: 1000 },
+            hidden_profile: HiddenProfile {
+                cw: 511,
+                payload_bytes: 1000,
+            },
             max_adapted_payload: 1000,
             adapt_cw: false,
         }

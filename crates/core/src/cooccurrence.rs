@@ -41,14 +41,21 @@ struct EntryState<A: Addr> {
 
 impl<A: Addr> Default for EntryState<A> {
     fn default() -> Self {
-        EntryState { allowed: BTreeSet::new(), denied: BTreeSet::new() }
+        EntryState {
+            allowed: BTreeSet::new(),
+            denied: BTreeSet::new(),
+        }
     }
 }
 
 impl<A: Addr> CoOccurrenceMap<A> {
     /// Creates an empty map (the paper's cold-start state).
     pub fn new() -> Self {
-        CoOccurrenceMap { entries: BTreeMap::new(), hits: 0, misses: 0 }
+        CoOccurrenceMap {
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up a cached verdict for transmitting to `receiver` while
@@ -87,7 +94,10 @@ impl<A: Addr> CoOccurrenceMap<A> {
 
     /// All receivers cached as concurrent-safe with `ongoing`.
     pub fn allowed_receivers(&self, ongoing: Link<A>) -> impl Iterator<Item = A> + '_ {
-        self.entries.get(&ongoing).into_iter().flat_map(|e| e.allowed.iter().copied())
+        self.entries
+            .get(&ongoing)
+            .into_iter()
+            .flat_map(|e| e.allowed.iter().copied())
     }
 
     /// Number of ongoing links with at least one cached verdict.
@@ -129,7 +139,9 @@ impl<A: Addr> CoOccurrenceMap<A> {
     /// Iterates over `(ongoing link, allowed receivers)` for display, in
     /// deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (Link<A>, Vec<A>)> + '_ {
-        self.entries.iter().map(|(l, e)| (*l, e.allowed.iter().copied().collect()))
+        self.entries
+            .iter()
+            .map(|(l, e)| (*l, e.allowed.iter().copied().collect()))
     }
 }
 

@@ -86,7 +86,12 @@ impl HtCensusEngine {
             miss_probability > 0.0 && miss_probability < 1.0,
             "miss probability must be in (0, 1)"
         );
-        HtCensusEngine { reception, t_cs, interference_prr, miss_probability }
+        HtCensusEngine {
+            reception,
+            t_cs,
+            interference_prr,
+            miss_probability,
+        }
     }
 
     /// Classifies a single neighbor with respect to the link `s → r`.
@@ -96,7 +101,8 @@ impl HtCensusEngine {
         let interferer_dist = neighbor.distance_to(r).max(eps);
         let interferes = self.reception.prr(d, interferer_dist) < self.interference_prr;
         let sense_dist = neighbor.distance_to(s).max(eps);
-        let senses = self.reception.cs_miss_probability(sense_dist, self.t_cs) <= self.miss_probability;
+        let senses =
+            self.reception.cs_miss_probability(sense_dist, self.t_cs) <= self.miss_probability;
         match (interferes, senses) {
             (true, false) => NeighborClass::Hidden,
             (_, true) => NeighborClass::Contender,
@@ -114,8 +120,11 @@ impl HtCensusEngine {
         r_addr: A,
         r: Position,
     ) -> HtCensus<A> {
-        let mut census =
-            HtCensus { hidden: Vec::new(), contenders: Vec::new(), independent: Vec::new() };
+        let mut census = HtCensus {
+            hidden: Vec::new(),
+            contenders: Vec::new(),
+            independent: Vec::new(),
+        };
         for (addr, entry) in table.iter() {
             if addr == s_addr || addr == r_addr {
                 continue;
@@ -191,8 +200,13 @@ mod tests {
         t.insert("H", Position::new(37.0, 0.0));
         t.insert("C", Position::new(10.0, 0.0));
         t.insert("I", Position::new(400.0, 0.0));
-        let census =
-            e.census(&t, "S", Position::new(0.0, 0.0), "R", Position::new(15.0, 0.0));
+        let census = e.census(
+            &t,
+            "S",
+            Position::new(0.0, 0.0),
+            "R",
+            Position::new(15.0, 0.0),
+        );
         assert_eq!(census.hidden, vec!["H"]);
         assert_eq!(census.contenders, vec!["C"]);
         assert_eq!(census.independent, vec!["I"]);
@@ -216,7 +230,11 @@ mod tests {
         }
         assert_eq!(
             seen,
-            vec![NeighborClass::Contender, NeighborClass::Hidden, NeighborClass::Independent]
+            vec![
+                NeighborClass::Contender,
+                NeighborClass::Hidden,
+                NeighborClass::Independent
+            ]
         );
     }
 

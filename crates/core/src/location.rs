@@ -35,7 +35,12 @@ pub struct LocationService {
 impl LocationService {
     /// Creates a service that has not yet obtained a position fix.
     pub fn new(policy: MobilityConfig) -> Self {
-        LocationService { policy, last_reported: None, reports: 0, suppressed: 0 }
+        LocationService {
+            policy,
+            last_reported: None,
+            reports: 0,
+            suppressed: 0,
+        }
     }
 
     /// Feeds a new localization fix. Returns `Some(position)` when the fix
@@ -44,9 +49,7 @@ impl LocationService {
     pub fn observe(&mut self, fix: Position) -> Option<Position> {
         let must_report = match self.last_reported {
             None => true,
-            Some(prev) => {
-                fix.distance_to(prev).value() > self.policy.update_threshold.value()
-            }
+            Some(prev) => fix.distance_to(prev).value() > self.policy.update_threshold.value(),
         };
         if must_report {
             self.last_reported = Some(fix);
@@ -85,7 +88,10 @@ mod tests {
     #[test]
     fn first_fix_is_always_reported() {
         let mut s = service();
-        assert_eq!(s.observe(Position::new(1.0, 1.0)), Some(Position::new(1.0, 1.0)));
+        assert_eq!(
+            s.observe(Position::new(1.0, 1.0)),
+            Some(Position::new(1.0, 1.0))
+        );
         assert_eq!(s.stats(), (1, 0));
     }
 
@@ -112,7 +118,11 @@ mod tests {
                 reports += 1;
             }
         }
-        assert_eq!(reports, 1 + 4, "1 initial + 4 threshold crossings (6,12,18,24)");
+        assert_eq!(
+            reports,
+            1 + 4,
+            "1 initial + 4 threshold crossings (6,12,18,24)"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub struct HiddenProfile {
 
 impl HiddenProfile {
     /// A stock 802.11 DCF station: `CW_min = 31`, 1000-byte frames.
-    pub const DCF_DEFAULT: HiddenProfile = HiddenProfile { cw: 31, payload_bytes: 1000 };
+    pub const DCF_DEFAULT: HiddenProfile = HiddenProfile {
+        cw: 31,
+        payload_bytes: 1000,
+    };
 }
 
 /// Inputs of one model evaluation.
@@ -122,7 +125,9 @@ impl DcfModel {
             0.0
         };
         let t_s = input.phy.success_duration(input.payload_bytes, input.rate);
-        let t_c = input.phy.collision_duration(input.payload_bytes, input.rate);
+        let t_c = input
+            .phy
+            .collision_duration(input.payload_bytes, input.rate);
         let t0 = input.phy.slot().as_secs_f64();
         let e_slot = (1.0 - p_tr) * t0
             + p_tr * p_s * t_s.as_secs_f64()
@@ -145,7 +150,17 @@ impl DcfModel {
         let k = (t_s.as_secs_f64() + t_i.as_secs_f64()) / e_slot_ht;
         let h = input.hidden as f64;
         let p_s_i = tau * (1.0 - tau).powi(c) * (1.0 - tau_ht).powf(h * k);
-        SlotStats { tau, p_tr, p_s, t_s, t_c, e_slot, e_slot_ht, k, p_s_i }
+        SlotStats {
+            tau,
+            p_tr,
+            p_s,
+            t_s,
+            t_c,
+            e_slot,
+            e_slot_ht,
+            k,
+            p_s_i,
+        }
     }
 
     /// Eq. (5): per-node saturated goodput of the tagged station, in
@@ -205,10 +220,16 @@ mod tests {
             for c in [0, 1, 4, 9] {
                 for h in [0, 3, 7] {
                     let s = DcfModel::slot_stats(&input(cw, c, h, 800));
-                    for (name, v) in
-                        [("tau", s.tau), ("p_tr", s.p_tr), ("p_s", s.p_s), ("p_s_i", s.p_s_i)]
-                    {
-                        assert!((0.0..=1.0).contains(&v), "{name} = {v} at cw={cw} c={c} h={h}");
+                    for (name, v) in [
+                        ("tau", s.tau),
+                        ("p_tr", s.p_tr),
+                        ("p_s", s.p_s),
+                        ("p_s_i", s.p_s_i),
+                    ] {
+                        assert!(
+                            (0.0..=1.0).contains(&v),
+                            "{name} = {v} at cw={cw} c={c} h={h}"
+                        );
                     }
                     assert!(s.e_slot > 0.0 && s.k > 0.0);
                 }
@@ -219,7 +240,10 @@ mod tests {
     #[test]
     fn no_ht_matches_bianchi_baseline() {
         let i = input(63, 4, 0, 1000);
-        assert_eq!(DcfModel::aggregate_goodput(&i), DcfModel::bianchi_aggregate(&i));
+        assert_eq!(
+            DcfModel::aggregate_goodput(&i),
+            DcfModel::bianchi_aggregate(&i)
+        );
     }
 
     #[test]
@@ -231,7 +255,10 @@ mod tests {
             assert!(s < prev, "goodput must fall with each extra HT (h = {h})");
             prev = s;
         }
-        assert!(prev < 0.5 * base, "5 HTs should cost more than half the goodput");
+        assert!(
+            prev < 0.5 * base,
+            "5 HTs should cost more than half the goodput"
+        );
     }
 
     #[test]
@@ -255,7 +282,10 @@ mod tests {
         let best = sweep.iter().cloned().fold(f64::MIN, f64::max);
         let first = sweep[0];
         let last = *sweep.last().unwrap();
-        assert!(best > first && best > last, "optimum must be interior: {sweep:?}");
+        assert!(
+            best > first && best > last,
+            "optimum must be interior: {sweep:?}"
+        );
     }
 
     #[test]
@@ -264,7 +294,10 @@ mod tests {
         // be set to the maximum value".
         let small = DcfModel::per_node_goodput(&input(63, 4, 5, 1000));
         let large = DcfModel::per_node_goodput(&input(1023, 4, 5, 1000));
-        assert!(large > small, "W=1023 {large} must beat W=63 {small} with 5 HTs");
+        assert!(
+            large > small,
+            "W=1023 {large} must beat W=63 {small} with 5 HTs"
+        );
     }
 
     #[test]
@@ -306,16 +339,17 @@ mod tests {
             "survival must be window-independent: {surv_small} vs {surv_large}"
         );
         // And the small window yields more goodput (it simply sends more).
-        assert!(
-            DcfModel::per_node_goodput(&mk(63)) > DcfModel::per_node_goodput(&mk(1023))
-        );
+        assert!(DcfModel::per_node_goodput(&mk(63)) > DcfModel::per_node_goodput(&mk(1023)));
     }
 
     #[test]
     fn homogeneous_profile_matches_explicit_mirror() {
         let implicit = input(255, 4, 3, 900);
         let explicit = ModelInput {
-            hidden_profile: Some(HiddenProfile { cw: 255, payload_bytes: 900 }),
+            hidden_profile: Some(HiddenProfile {
+                cw: 255,
+                payload_bytes: 900,
+            }),
             ..implicit
         };
         let a = DcfModel::per_node_goodput(&implicit);

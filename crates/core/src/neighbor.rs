@@ -46,7 +46,10 @@ pub struct NeighborTable<A: Addr> {
 impl<A: Addr> NeighborTable<A> {
     /// Creates an empty table with the given mobility policy.
     pub fn new(mobility: MobilityConfig) -> Self {
-        NeighborTable { entries: BTreeMap::new(), mobility }
+        NeighborTable {
+            entries: BTreeMap::new(),
+            mobility,
+        }
     }
 
     /// Records a position report. Returns `true` when the table content
@@ -55,7 +58,13 @@ impl<A: Addr> NeighborTable<A> {
     pub fn update(&mut self, addr: A, position: Position) -> bool {
         match self.entries.get_mut(&addr) {
             None => {
-                self.entries.insert(addr, NeighborEntry { position, updates: 1 });
+                self.entries.insert(
+                    addr,
+                    NeighborEntry {
+                        position,
+                        updates: 1,
+                    },
+                );
                 true
             }
             Some(entry) => {
@@ -80,7 +89,10 @@ impl<A: Addr> NeighborTable<A> {
                 e.position = position;
                 e.updates += 1;
             })
-            .or_insert(NeighborEntry { position, updates: 1 });
+            .or_insert(NeighborEntry {
+                position,
+                updates: 1,
+            });
     }
 
     /// Drops a neighbor (e.g. on disassociation).

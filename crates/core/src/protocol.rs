@@ -66,7 +66,11 @@ impl<A: Addr> Protocol<A> {
                 TABLE_MAX_CONTENDERS,
                 config.max_adapted_payload,
                 Some(config.hidden_profile),
-                if config.adapt_cw { &crate::adapt::CW_CANDIDATES } else { &[31] },
+                if config.adapt_cw {
+                    &crate::adapt::CW_CANDIDATES
+                } else {
+                    &[31]
+                },
             ),
             location: LocationService::new(config.mobility),
         }
@@ -170,7 +174,9 @@ impl<A: Addr> Protocol<A> {
     pub fn ht_census(&self, receiver: A) -> Result<HtCensus<A>, CoMapError<A>> {
         let me = self.own_position.ok_or(CoMapError::OwnPositionUnknown)?;
         let rx = self.neighbor_position(receiver)?;
-        Ok(self.census.census(&self.neighbors, self.addr, me, receiver, rx))
+        Ok(self
+            .census
+            .census(&self.neighbors, self.addr, me, receiver, rx))
     }
 
     /// The transmission parameters CO-MAP installs for the link
@@ -182,7 +188,9 @@ impl<A: Addr> Protocol<A> {
     /// Fails when positions are missing.
     pub fn tx_setting(&self, receiver: A) -> Result<TxSetting, CoMapError<A>> {
         let census = self.ht_census(receiver)?;
-        Ok(self.adaptation.setting(census.n_ht(), census.n_contenders()))
+        Ok(self
+            .adaptation
+            .setting(census.n_ht(), census.n_contenders()))
     }
 
     /// Records the observed outcome of a *concurrent* transmission: a
@@ -225,7 +233,9 @@ impl<A: Addr> Protocol<A> {
         if addr == self.addr {
             return self.own_position.ok_or(CoMapError::OwnPositionUnknown);
         }
-        self.neighbors.position(addr).ok_or(CoMapError::UnknownNeighbor(addr))
+        self.neighbors
+            .position(addr)
+            .ok_or(CoMapError::UnknownNeighbor(addr))
     }
 }
 

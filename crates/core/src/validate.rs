@@ -64,7 +64,10 @@ impl ConcurrencyValidator {
     ///
     /// Panics unless `0 < t_prr < 1`.
     pub fn new(reception: ReceptionModel, t_prr: f64) -> Self {
-        assert!(t_prr > 0.0 && t_prr < 1.0, "T_PRR must be in (0, 1), got {t_prr}");
+        assert!(
+            t_prr > 0.0 && t_prr < 1.0,
+            "T_PRR must be in (0, 1), got {t_prr}"
+        );
         ConcurrencyValidator { reception, t_prr }
     }
 
@@ -141,10 +144,10 @@ mod tests {
         // I sit right next to the ongoing receiver: direction 1 fails.
         let v = validator();
         let d = v.validate(
-            Position::new(31.0, 0.0),  // me, 1 m from dst
-            Position::new(80.0, 0.0),  // my rx, far away
-            Position::new(0.0, 0.0),   // ongoing src
-            Position::new(30.0, 0.0),  // ongoing dst
+            Position::new(31.0, 0.0), // me, 1 m from dst
+            Position::new(80.0, 0.0), // my rx, far away
+            Position::new(0.0, 0.0),  // ongoing src
+            Position::new(30.0, 0.0), // ongoing dst
         );
         assert!(!d.harmless_to_ongoing(), "{d:?}");
         assert!(!d.allowed());

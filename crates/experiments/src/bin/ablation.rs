@@ -14,9 +14,30 @@ fn main() {
         for (name, f) in [
             ("dcf", MacFeatures::DCF),
             ("dcf+rts/cts", MacFeatures::DCF_RTS_CTS),
-            ("hdr", MacFeatures { discovery_header: true, ..MacFeatures::DCF }),
-            ("hdr+et", MacFeatures { discovery_header: true, et_concurrency: true, ..MacFeatures::DCF }),
-            ("hdr+et+arq", MacFeatures { discovery_header: true, et_concurrency: true, selective_repeat: true, ..MacFeatures::DCF }),
+            (
+                "hdr",
+                MacFeatures {
+                    discovery_header: true,
+                    ..MacFeatures::DCF
+                },
+            ),
+            (
+                "hdr+et",
+                MacFeatures {
+                    discovery_header: true,
+                    et_concurrency: true,
+                    ..MacFeatures::DCF
+                },
+            ),
+            (
+                "hdr+et+arq",
+                MacFeatures {
+                    discovery_header: true,
+                    et_concurrency: true,
+                    selective_repeat: true,
+                    ..MacFeatures::DCF
+                },
+            ),
             ("full", MacFeatures::COMAP),
         ] {
             let (cfg, ids) = et_testbed(x, f, 1);
@@ -26,9 +47,10 @@ fn main() {
             let l1 = r.links[&(ids.c1, ids.ap1)];
             let n1 = r.nodes.get(&ids.c1).copied().unwrap_or_default();
             println!(
-                "{name:>12}: C1 {g1:.2} Mbps (tx {} to {} ackTO {} drop {}) C2 {g2:.2} Mbps | conc {} aband {} hdrs {}",
+                "{name:>12}: C1 {g1:.2} Mbps (tx {} to {} ackTO {} drop {}) C2 {g2:.2} Mbps | conc {} aband {} hdrs {} | phy cap {} hzd {}",
                 l1.data_tx, l1.delivered_frames, l1.ack_timeouts, l1.drops,
-                n1.concurrent_tx, n1.et_abandons, n1.headers_heard
+                n1.concurrent_tx, n1.et_abandons, n1.headers_heard,
+                r.medium.captures, r.medium.hazard_drops
             );
         }
     }

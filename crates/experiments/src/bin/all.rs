@@ -43,7 +43,10 @@ fn run_fig02(quick: bool) {
 
 fn run_fig07(quick: bool) {
     let fig = comap_experiments::fig07::run(quick);
-    println!("fig07: mean model-vs-sim error {:.1}%", fig.mean_relative_error() * 100.0);
+    println!(
+        "fig07: mean model-vs-sim error {:.1}%",
+        fig.mean_relative_error() * 100.0
+    );
 }
 
 fn run_fig08(quick: bool) {

@@ -10,7 +10,11 @@ fn main() {
         &["C2 position (m from AP1)", "C1→AP1 (Mbps)", "C2→AP2 (Mbps)"],
     );
     for p in &fig.points {
-        t.row(&[format!("{:.0}", p.c2_x), mbps(p.c1_goodput), mbps(p.c2_goodput)]);
+        t.row(&[
+            format!("{:.0}", p.c2_x),
+            mbps(p.c1_goodput),
+            mbps(p.c2_goodput),
+        ]);
     }
     t.print();
     println!(

@@ -7,10 +7,20 @@ fn main() {
     let fig = comap_experiments::fig02::run(quick_flag());
     let mut t = Table::new(
         "Fig. 2 — goodput of C1→AP1 vs payload size",
-        &["Payload (B)", "N_ht = 0 (Mbps)", "N_ht = 1 (Mbps)", "N_ht = 3 (Mbps)"],
+        &[
+            "Payload (B)",
+            "N_ht = 0 (Mbps)",
+            "N_ht = 1 (Mbps)",
+            "N_ht = 3 (Mbps)",
+        ],
     );
     for p in &fig.points {
-        t.row(&[p.payload.to_string(), mbps(p.no_ht), mbps(p.one_ht), mbps(p.three_ht)]);
+        t.row(&[
+            p.payload.to_string(),
+            mbps(p.no_ht),
+            mbps(p.one_ht),
+            mbps(p.three_ht),
+        ]);
     }
     t.print();
     println!(

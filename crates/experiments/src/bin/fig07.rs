@@ -9,21 +9,32 @@ fn main() {
     for &n_ht in &HT_COUNTS {
         let mut t = Table::new(
             format!("Fig. 7 — {n_ht} hidden terminal(s): per-node goodput (Mbps)"),
-            &["Payload (B)", "W=63 model", "W=63 sim", "W=255 model", "W=255 sim", "W=1023 model", "W=1023 sim"],
+            &[
+                "Payload (B)",
+                "W=63 model",
+                "W=63 sim",
+                "W=255 model",
+                "W=255 sim",
+                "W=1023 model",
+                "W=1023 sim",
+            ],
         );
         let panels: Vec<_> = WINDOWS.iter().map(|&w| fig.panel(w, n_ht)).collect();
-        for i in 0..panels[0].len() {
+        for ((p63, p255), p1023) in panels[0].iter().zip(&panels[1]).zip(&panels[2]) {
             t.row(&[
-                panels[0][i].payload.to_string(),
-                mbps(panels[0][i].model),
-                mbps(panels[0][i].sim),
-                mbps(panels[1][i].model),
-                mbps(panels[1][i].sim),
-                mbps(panels[2][i].model),
-                mbps(panels[2][i].sim),
+                p63.payload.to_string(),
+                mbps(p63.model),
+                mbps(p63.sim),
+                mbps(p255.model),
+                mbps(p255.sim),
+                mbps(p1023.model),
+                mbps(p1023.sim),
             ]);
         }
         t.print();
     }
-    println!("mean relative model-vs-sim error: {:.1}%", fig.mean_relative_error() * 100.0);
+    println!(
+        "mean relative model-vs-sim error: {:.1}%",
+        fig.mean_relative_error() * 100.0
+    );
 }

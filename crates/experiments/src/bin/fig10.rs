@@ -8,7 +8,14 @@ fn main() {
     let fig = comap_experiments::fig10::run(quick_flag());
     let mut t = Table::new(
         "Fig. 10 — per-link goodput distribution (Mbps) and aggregate gain",
-        &["Variant", "p10", "median", "p90", "mean", "aggregate gain vs DCF"],
+        &[
+            "Variant",
+            "p10",
+            "median",
+            "p90",
+            "mean",
+            "aggregate gain vs DCF",
+        ],
     );
     for v in &fig.variants {
         let cdf = v.cdf();

@@ -39,10 +39,16 @@ fn main() {
 
     let mut t = Table::new(
         "Hidden-terminal testbed (one HT): measured link",
-        &["MAC", "C1→AP1 (Mbps)", "ACK timeouts / data tx"],
+        &[
+            "MAC",
+            "C1→AP1 (Mbps)",
+            "ACK timeouts / data tx",
+            "phy captures / hazard kills",
+        ],
     );
     for (name, features) in variants {
         let (mut g, mut to, mut tx) = (0.0, 0u64, 0u64);
+        let (mut cap, mut hzd) = (0u64, 0u64);
         for &seed in seeds {
             let (cfg, ids) = ht_testbed(1000, 1, features, seed);
             let r = Simulator::new(cfg).run(duration);
@@ -51,8 +57,15 @@ fn main() {
                 to += l.ack_timeouts;
                 tx += l.data_tx;
             }
+            cap += r.medium.captures;
+            hzd += r.medium.hazard_drops;
         }
-        t.row(&[name.into(), mbps(g), format!("{to} / {tx}")]);
+        t.row(&[
+            name.into(),
+            mbps(g),
+            format!("{to} / {tx}"),
+            format!("{cap} / {hzd}"),
+        ]);
     }
     t.print();
     println!(

@@ -43,14 +43,27 @@ pub fn run(quick: bool) -> Fig01 {
     let points = positions()
         .into_iter()
         .map(|x| {
-            let reports =
-                run_many(|seed| et_testbed(x, MacFeatures::DCF, seed).0, seeds, duration);
+            let reports = run_many(
+                |seed| et_testbed(x, MacFeatures::DCF, seed).0,
+                seeds,
+                duration,
+            );
             let (_, ids) = et_testbed(x, MacFeatures::DCF, 0);
-            let c1: f64 = reports.iter().map(|r| r.link_goodput_bps(ids.c1, ids.ap1)).sum::<f64>()
+            let c1: f64 = reports
+                .iter()
+                .map(|r| r.link_goodput_bps(ids.c1, ids.ap1))
+                .sum::<f64>()
                 / reports.len() as f64;
-            let c2: f64 = reports.iter().map(|r| r.link_goodput_bps(ids.c2, ids.ap2)).sum::<f64>()
+            let c2: f64 = reports
+                .iter()
+                .map(|r| r.link_goodput_bps(ids.c2, ids.ap2))
+                .sum::<f64>()
                 / reports.len() as f64;
-            Point { c2_x: x, c1_goodput: c1, c2_goodput: c2 }
+            Point {
+                c2_x: x,
+                c1_goodput: c1,
+                c2_goodput: c2,
+            }
         })
         .collect();
     Fig01 { points }

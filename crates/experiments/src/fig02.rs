@@ -37,8 +37,12 @@ pub fn payloads() -> Vec<u32> {
 
 /// Runs the experiment.
 pub fn run(quick: bool) -> Fig02 {
+    // Quick mode needs a few seeds: whether the HT's frames corrupt AP1
+    // rides on the per-seed shadow draw of the HT→AP1 link (mean SINR
+    // sits ~5 dB under the 11 Mbps threshold, within one σ), so a single
+    // seed can land on a harmless draw and hide the figure's effect.
     let (seeds, duration): (&[u64], _) = if quick {
-        (&[1], SimDuration::from_millis(300))
+        (&[1, 2, 3], SimDuration::from_millis(400))
     } else {
         (&[1, 2, 3, 4, 5], SimDuration::from_secs(3))
     };
@@ -59,7 +63,12 @@ pub fn run(quick: bool) -> Fig02 {
                     .sum::<f64>()
                     / reports.len() as f64;
             }
-            Point { payload, no_ht: means[0], one_ht: means[1], three_ht: means[2] }
+            Point {
+                payload,
+                no_ht: means[0],
+                one_ht: means[1],
+                three_ht: means[2],
+            }
         })
         .collect();
     Fig02 { points }

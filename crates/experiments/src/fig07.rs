@@ -92,7 +92,13 @@ pub fn run(quick: bool) -> Fig07 {
                     })
                     .sum::<f64>()
                     / reports.len() as f64;
-                points.push(Point { w, n_ht, payload, model, sim });
+                points.push(Point {
+                    w,
+                    n_ht,
+                    payload,
+                    model,
+                    sim,
+                });
             }
         }
     }
@@ -102,7 +108,11 @@ pub fn run(quick: bool) -> Fig07 {
 impl Fig07 {
     /// Points of one panel, ordered by payload.
     pub fn panel(&self, w: u32, n_ht: usize) -> Vec<Point> {
-        self.points.iter().filter(|p| p.w == w && p.n_ht == n_ht).copied().collect()
+        self.points
+            .iter()
+            .filter(|p| p.w == w && p.n_ht == n_ht)
+            .copied()
+            .collect()
     }
 
     /// Mean relative model-vs-sim error over points where either side is
@@ -136,7 +146,13 @@ mod tests {
         for &w in &WINDOWS {
             for p in fig.panel(w, 0) {
                 let err = (p.model - p.sim).abs() / p.model.max(p.sim);
-                assert!(err < 0.35, "W={w} payload={} model={} sim={}", p.payload, p.model, p.sim);
+                assert!(
+                    err < 0.35,
+                    "W={w} payload={} model={} sim={}",
+                    p.payload,
+                    p.model,
+                    p.sim
+                );
             }
         }
     }
@@ -146,6 +162,9 @@ mod tests {
         let fig = run(true);
         let calm: f64 = fig.panel(63, 0).iter().map(|p| p.sim).sum();
         let noisy: f64 = fig.panel(63, 5).iter().map(|p| p.sim).sum();
-        assert!(noisy < 0.5 * calm, "5 HTs must crush W=63: {noisy} vs {calm}");
+        assert!(
+            noisy < 0.5 * calm,
+            "5 HTs must crush W=63: {noisy} vs {calm}"
+        );
     }
 }

@@ -96,12 +96,19 @@ pub fn run(quick: bool) -> Fig10 {
                         / reports.len() as f64;
                     link_goodputs.push(g);
                 }
-                let agg = reports.iter().map(|r| r.aggregate_goodput_bps()).sum::<f64>()
+                let agg = reports
+                    .iter()
+                    .map(|r| r.aggregate_goodput_bps())
+                    .sum::<f64>()
                     / reports.len() as f64;
                 aggregates.push(agg);
             }
             let mean_aggregate = aggregates.iter().sum::<f64>() / aggregates.len() as f64;
-            VariantResult { variant, link_goodputs, mean_aggregate }
+            VariantResult {
+                variant,
+                link_goodputs,
+                mean_aggregate,
+            }
         })
         .collect();
     Fig10 { variants }
@@ -115,7 +122,10 @@ impl Fig10 {
 
     /// Mean aggregated-goodput gain of a variant over DCF.
     pub fn gain_over_dcf(&self, v: Variant) -> f64 {
-        let dcf = self.variant(Variant::Dcf).expect("DCF present").mean_aggregate;
+        let dcf = self
+            .variant(Variant::Dcf)
+            .expect("DCF present")
+            .mean_aggregate;
         let it = self.variant(v).expect("variant present").mean_aggregate;
         it / dcf - 1.0
     }

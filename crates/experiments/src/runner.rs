@@ -6,22 +6,49 @@ use comap_sim::frame::NodeId;
 use comap_sim::sim::Simulator;
 use comap_sim::stats::SimReport;
 
-/// Runs one configuration per seed (in parallel across OS threads) and
-/// returns the reports in seed order.
+/// Runs one configuration per seed and returns the reports in seed
+/// order.
+///
+/// The work is spread over at most
+/// [`std::thread::available_parallelism`] worker threads (not one thread
+/// per seed — a 500-seed CDF sweep must not spawn 500 OS threads).
+/// Workers pull seed indices from a shared counter and write each report
+/// into its seed's slot, so the output order — and, since every
+/// simulation is deterministic in its seed, the output itself — does not
+/// depend on scheduling.
 pub fn run_many<F>(build: F, seeds: &[u64], duration: SimDuration) -> Vec<SimReport>
 where
     F: Fn(u64) -> SimConfig + Sync,
 {
-    let mut out: Vec<Option<SimReport>> = (0..seeds.len()).map(|_| None).collect();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(seeds.len());
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<SimReport>>> = Mutex::new(vec![None; seeds.len()]);
     std::thread::scope(|scope| {
-        for (slot, &seed) in out.iter_mut().zip(seeds) {
-            let build = &build;
-            scope.spawn(move || {
-                *slot = Some(Simulator::new(build(seed)).run(duration));
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= seeds.len() {
+                    break;
+                }
+                let report = Simulator::new(build(seeds[i])).run(duration);
+                out.lock().expect("no panics while holding the lock")[i] = Some(report);
             });
         }
     });
-    out.into_iter().map(|r| r.expect("thread completed")).collect()
+    out.into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 /// Mean goodput of one directed link across seeds, in bits/s.
@@ -35,7 +62,10 @@ where
     F: Fn(u64) -> SimConfig + Sync,
 {
     let reports = run_many(build, seeds, duration);
-    reports.iter().map(|r| r.link_goodput_bps(link.0, link.1)).sum::<f64>()
+    reports
+        .iter()
+        .map(|r| r.link_goodput_bps(link.0, link.1))
+        .sum::<f64>()
         / reports.len() as f64
 }
 
@@ -62,16 +92,19 @@ impl Cdf {
     pub fn quantile(&self, q: f64) -> f64 {
         assert!(!self.sorted.is_empty(), "quantile of an empty CDF");
         assert!((0.0..=1.0).contains(&q), "quantile order must be in [0, 1]");
-        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
-        self.sorted[idx - 1]
+        // Nearest rank, with `quantile(0.0)` pinned to the smallest
+        // sample (rank never drops below 1). `q ≤ 1` keeps the ceiling
+        // within bounds.
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).max(1);
+        self.sorted[rank - 1]
     }
 
-    /// `P(X ≤ x)`.
+    /// `P(X ≤ x)`, by binary search over the sorted samples.
     pub fn probability_at(&self, x: f64) -> f64 {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let below = self.sorted.iter().take_while(|&&v| v <= x).count();
+        let below = self.sorted.partition_point(|&v| v <= x);
         below as f64 / self.sorted.len() as f64
     }
 
@@ -148,6 +181,40 @@ mod tests {
         assert_eq!(cdf.quantile(1.0), 4.0);
         assert_eq!(cdf.probability_at(2.5), 0.5);
         assert_eq!(cdf.points().last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn quantile_zero_is_the_smallest_sample() {
+        let cdf = empirical_cdf(vec![5.0, 1.5, 9.0]);
+        assert_eq!(cdf.quantile(0.0), 1.5);
+        assert_eq!(cdf.quantile(1.0), 9.0);
+        // A single-sample CDF answers every quantile with that sample.
+        let one = empirical_cdf(vec![7.0]);
+        assert_eq!(one.quantile(0.0), 7.0);
+        assert_eq!(one.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn probability_at_counts_ties_and_boundaries() {
+        let cdf = empirical_cdf(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.probability_at(0.5), 0.0);
+        assert_eq!(cdf.probability_at(2.0), 0.75);
+        assert_eq!(cdf.probability_at(3.0), 1.0);
+        assert_eq!(cdf.probability_at(99.0), 1.0);
+        assert_eq!(empirical_cdf(vec![]).probability_at(1.0), 0.0);
+    }
+
+    #[test]
+    fn run_many_queues_past_the_worker_pool() {
+        // More seeds than any plausible core count: indices must still
+        // map to their seeds after queueing through the bounded pool.
+        let seeds: Vec<u64> = (1..=40).collect();
+        let d = SimDuration::from_millis(5);
+        let reports = run_many(tiny, &seeds, d);
+        assert_eq!(reports.len(), seeds.len());
+        let direct = Simulator::new(tiny(17)).run(d);
+        assert_eq!(reports[16].links, direct.links);
+        assert!(run_many(tiny, &[], d).is_empty());
     }
 
     #[test]

@@ -9,25 +9,39 @@ use crate::report::Table;
 /// Renders Table I from the preset.
 pub fn build() -> Table {
     let cfg = ProtocolConfig::large_scale();
-    let mut t = Table::new("Table I — parameter settings for the large-scale simulations", &[
-        "Parameter",
-        "Value",
-    ]);
+    let mut t = Table::new(
+        "Table I — parameter settings for the large-scale simulations",
+        &["Parameter", "Value"],
+    );
     let rows: Vec<(String, String)> = vec![
         ("Data rate".into(), format!("{}", cfg.model_rate)),
         ("TX power".into(), format!("{}", cfg.tx_power)),
         ("T_PRR".into(), format!("{:.0} %", cfg.t_prr * 100.0)),
         ("T_cs".into(), format!("{}", cfg.t_cs)),
         ("T'_cs".into(), format!("{}", cfg.t_cs_delta)),
-        ("Path loss exponent α".into(), format!("{}", cfg.channel.alpha())),
+        (
+            "Path loss exponent α".into(),
+            format!("{}", cfg.channel.alpha()),
+        ),
         ("Shadowing σ".into(), format!("{}", cfg.channel.sigma())),
         ("T_SIR".into(), format!("{}", cfg.t_sir)),
-        ("HT miss probability".into(), format!("{:.0} %", cfg.ht_miss_probability * 100.0)),
+        (
+            "HT miss probability".into(),
+            format!("{:.0} %", cfg.ht_miss_probability * 100.0),
+        ),
         ("ARQ window W_send".into(), format!("{}", cfg.arq_window)),
         ("CBR per flow (paper)".into(), "3 Mbps (two-way)".into()),
-        ("CBR per flow (ours)".into(), "1.2 Mbps (two-way; see EXPERIMENTS.md)".into()),
+        (
+            "CBR per flow (ours)".into(),
+            "1.2 Mbps (two-way; see EXPERIMENTS.md)".into(),
+        ),
         ("Slot / SIFS / DIFS".into(), {
-            format!("{} / {} / {}", cfg.phy.slot(), cfg.phy.sifs(), cfg.phy.difs())
+            format!(
+                "{} / {} / {}",
+                cfg.phy.slot(),
+                cfg.phy.sifs(),
+                cfg.phy.difs()
+            )
         }),
     ];
     for (k, v) in rows {
@@ -43,8 +57,20 @@ mod tests {
     #[test]
     fn table_matches_paper_values() {
         let rendered = build().render();
-        for needle in ["6 Mbps", "20.00 dBm", "95 %", "-80.00 dBm", "-80.14 dBm", "3.3", "5.00 dB", "10.00 dB"] {
-            assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        for needle in [
+            "6 Mbps",
+            "20.00 dBm",
+            "95 %",
+            "-80.00 dBm",
+            "-80.14 dBm",
+            "3.3",
+            "5.00 dB",
+            "10.00 dB",
+        ] {
+            assert!(
+                rendered.contains(needle),
+                "missing {needle} in:\n{rendered}"
+            );
         }
     }
 }

@@ -85,7 +85,12 @@ impl SelectiveRepeatSender {
             (1..=64).contains(&window_size),
             "window size must be in 1..=64, got {window_size}"
         );
-        SelectiveRepeatSender { window_size, window: VecDeque::new(), next_seq: 0, delivered: 0 }
+        SelectiveRepeatSender {
+            window_size,
+            window: VecDeque::new(),
+            next_seq: 0,
+            delivered: 0,
+        }
     }
 
     /// The configured window size.
@@ -106,7 +111,12 @@ impl SelectiveRepeatSender {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.window.push_back(SendEntry { seq, payload_bytes, acked: false, attempts: 0 });
+        self.window.push_back(SendEntry {
+            seq,
+            payload_bytes,
+            acked: false,
+            attempts: 0,
+        });
         Some(seq)
     }
 
@@ -123,12 +133,18 @@ impl SelectiveRepeatSender {
 
     /// Payload size of an in-window frame.
     pub fn payload_of(&self, seq: Seq) -> Option<u32> {
-        self.window.iter().find(|e| e.seq == seq).map(|e| e.payload_bytes)
+        self.window
+            .iter()
+            .find(|e| e.seq == seq)
+            .map(|e| e.payload_bytes)
     }
 
     /// Number of transmission attempts already made for `seq`.
     pub fn attempts_of(&self, seq: Seq) -> Option<u32> {
-        self.window.iter().find(|e| e.seq == seq).map(|e| e.attempts)
+        self.window
+            .iter()
+            .find(|e| e.seq == seq)
+            .map(|e| e.attempts)
     }
 
     /// Records that `seq` went on the air once.
@@ -224,7 +240,10 @@ impl SelectiveRepeatReceiver {
                 bitmap |= 1 << offset;
             }
         }
-        Ack { base: self.next_expected, bitmap }
+        Ack {
+            base: self.next_expected,
+            bitmap,
+        }
     }
 
     /// Lowest sequence number not yet received.

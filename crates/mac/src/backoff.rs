@@ -34,7 +34,10 @@ pub enum BackoffPolicy {
 
 impl BackoffPolicy {
     /// The 802.11b defaults: `CW_min = 31`, `CW_max = 1023`.
-    pub const DSSS_DEFAULT: BackoffPolicy = BackoffPolicy::Beb { cw_min: 31, cw_max: 1023 };
+    pub const DSSS_DEFAULT: BackoffPolicy = BackoffPolicy::Beb {
+        cw_min: 31,
+        cw_max: 1023,
+    };
 
     /// The contention window for a given retry count.
     pub fn window(self, retries: u32) -> u32 {
@@ -72,7 +75,9 @@ impl Backoff {
     /// Draws a fresh uniform backoff in `[0, CW(retries)]`.
     pub fn draw<R: Rng + ?Sized>(policy: BackoffPolicy, retries: u32, rng: &mut R) -> Self {
         let cw = policy.window(retries);
-        Backoff { slots: rng.gen_range(0..=cw) }
+        Backoff {
+            slots: rng.gen_range(0..=cw),
+        }
     }
 
     /// A backoff with an explicit number of slots (mainly for tests).

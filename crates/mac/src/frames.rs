@@ -76,7 +76,10 @@ mod tests {
     #[test]
     fn control_frames_have_fixed_size() {
         assert_eq!(FrameKind::Ack.on_air_bytes(999), ACK_BYTES);
-        assert_eq!(FrameKind::DiscoveryHeader.on_air_bytes(0), DISCOVERY_HEADER_BYTES);
+        assert_eq!(
+            FrameKind::DiscoveryHeader.on_air_bytes(0),
+            DISCOVERY_HEADER_BYTES
+        );
         assert_eq!(FrameKind::Rts.on_air_bytes(0), RTS_BYTES);
         assert_eq!(FrameKind::Cts.on_air_bytes(0), CTS_BYTES);
     }

@@ -13,11 +13,15 @@ use serde::{Deserialize, Serialize};
 
 /// An absolute instant on the simulation clock, in nanoseconds since the
 /// start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -45,7 +49,10 @@ impl SimTime {
     ///
     /// Panics if `earlier` is in the future.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        assert!(earlier.0 <= self.0, "duration_since: {earlier} is after {self}");
+        assert!(
+            earlier.0 <= self.0,
+            "duration_since: {earlier} is after {self}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 
@@ -207,14 +214,20 @@ mod tests {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]
     fn time_arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_micros(50);
         assert_eq!(t.as_nanos(), 50_000);
-        assert_eq!(t.duration_since(SimTime::ZERO), SimDuration::from_micros(50));
+        assert_eq!(
+            t.duration_since(SimTime::ZERO),
+            SimDuration::from_micros(50)
+        );
         assert_eq!(
             SimTime::ZERO.saturating_duration_since(t),
             SimDuration::ZERO

@@ -160,8 +160,14 @@ mod tests {
     #[test]
     fn difs_is_sifs_plus_two_slots() {
         assert_eq!(PhyTiming::dsss().difs(), SimDuration::from_micros(50));
-        assert_eq!(PhyTiming::erp_ofdm(true).difs(), SimDuration::from_micros(28));
-        assert_eq!(PhyTiming::erp_ofdm(false).difs(), SimDuration::from_micros(50));
+        assert_eq!(
+            PhyTiming::erp_ofdm(true).difs(),
+            SimDuration::from_micros(28)
+        );
+        assert_eq!(
+            PhyTiming::erp_ofdm(false).difs(),
+            SimDuration::from_micros(50)
+        );
     }
 
     #[test]
@@ -183,7 +189,10 @@ mod tests {
         let d = phy.frame_duration(DATA_HEADER_BYTES + 1500, Rate::Mbps54);
         assert_eq!(d.as_micros_round(), 254);
         // ACK at 6 Mbps: ceil((16+112+6)/24) = 6 symbols → 20+24+6 = 50 µs.
-        assert_eq!(phy.frame_duration(ACK_BYTES, Rate::Mbps6), SimDuration::from_micros(50));
+        assert_eq!(
+            phy.frame_duration(ACK_BYTES, Rate::Mbps6),
+            SimDuration::from_micros(50)
+        );
     }
 
     #[test]

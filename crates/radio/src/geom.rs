@@ -118,7 +118,12 @@ mod tests {
         let p = Position::ORIGIN;
         let n = 20_000;
         let inside = (0..n)
-            .filter(|_| p.with_error(Meters::new(8.0), &mut rng).distance_to(p).value() < 4.0)
+            .filter(|_| {
+                p.with_error(Meters::new(8.0), &mut rng)
+                    .distance_to(p)
+                    .value()
+                    < 4.0
+            })
             .count();
         let frac = inside as f64 / n as f64;
         assert!((frac - 0.25).abs() < 0.02, "inner-disc fraction {frac}");

@@ -182,7 +182,9 @@ mod tests {
 
     #[test]
     fn erfc_complements_erf() {
-        for x in [-3.0, -1.6, -1.0, -0.2, 0.0, 0.3, 1.4, 1.5, 1.6, 1.7, 3.9, 5.0] {
+        for x in [
+            -3.0, -1.6, -1.0, -0.2, 0.0, 0.3, 1.4, 1.5, 1.6, 1.7, 3.9, 5.0,
+        ] {
             assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "at {x}");
         }
     }

@@ -29,7 +29,9 @@ pub struct FreeSpace {
 
 impl FreeSpace {
     /// Free space at the 2.4 GHz ISM band used by 802.11b/g.
-    pub const WIFI_2_4GHZ: FreeSpace = FreeSpace { frequency_hz: 2.4e9 };
+    pub const WIFI_2_4GHZ: FreeSpace = FreeSpace {
+        frequency_hz: 2.4e9,
+    };
 
     /// Creates a free-space model for an arbitrary carrier frequency.
     ///
@@ -97,8 +99,16 @@ impl LogNormalShadowing {
     pub fn new(p_d0: Dbm, d0: Meters, alpha: f64, sigma: Db) -> Self {
         assert!(d0.value() > 0.0, "reference distance must be positive");
         assert!(alpha > 0.0, "path-loss exponent must be positive");
-        assert!(sigma.value() >= 0.0, "shadowing deviation cannot be negative");
-        LogNormalShadowing { p_d0, d0, alpha, sigma }
+        assert!(
+            sigma.value() >= 0.0,
+            "shadowing deviation cannot be negative"
+        );
+        LogNormalShadowing {
+            p_d0,
+            d0,
+            alpha,
+            sigma,
+        }
     }
 
     /// Creates a model whose reference power at 1 m comes from the Friis
@@ -229,7 +239,10 @@ mod tests {
         let chan = LogNormalShadowing::large_scale(Dbm::new(20.0));
         let range = chan.range_for_threshold(Dbm::new(-80.0));
         let power = chan.mean_power(range);
-        assert!((power.value() - (-80.0)).abs() < 1e-9, "power at range = {power}");
+        assert!(
+            (power.value() - (-80.0)).abs() < 1e-9,
+            "power at range = {power}"
+        );
     }
 
     #[test]
@@ -248,10 +261,15 @@ mod tests {
         let d = Meters::new(20.0);
         let mean = chan.mean_power(d).value();
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| chan.sample_power(d, &mut rng).value()).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| chan.sample_power(d, &mut rng).value())
+            .collect();
         let avg = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|s| (s - avg).powi(2)).sum::<f64>() / n as f64;
-        assert!((avg - mean).abs() < 0.2, "sample mean {avg} vs model {mean}");
+        assert!(
+            (avg - mean).abs() < 0.2,
+            "sample mean {avg} vs model {mean}"
+        );
         assert!((var.sqrt() - 5.0).abs() < 0.2, "sample σ = {}", var.sqrt());
     }
 

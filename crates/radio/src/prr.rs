@@ -88,7 +88,11 @@ impl ReceptionModel {
 
     /// Eq. (3) with an explicit SIR threshold, for rate-dependent checks.
     pub fn prr_with_threshold(&self, d: Meters, r: Meters, t_sir: Db) -> f64 {
-        ReceptionModel { channel: self.channel, t_sir }.prr(d, r)
+        ReceptionModel {
+            channel: self.channel,
+            t_sir,
+        }
+        .prr(d, r)
     }
 
     /// Eq. (4): probability that a node `r` meters from a sender receives
@@ -118,7 +122,8 @@ impl ReceptionModel {
     pub fn cs_range_for_miss_probability(&self, t_cs: Dbm, p: f64) -> Meters {
         let z = crate::math::std_normal_quantile(p);
         // T_cs − P(d0) + 10 α log10(r/d0) = z σ
-        let margin = (self.channel.reference_power() - t_cs).value() + z * self.channel.sigma().value();
+        let margin =
+            (self.channel.reference_power() - t_cs).value() + z * self.channel.sigma().value();
         if margin <= 0.0 {
             return self.channel.reference_distance();
         }
@@ -138,13 +143,16 @@ impl ReceptionModel {
     ///
     /// Panics unless `0 < threshold < 1`.
     pub fn interference_range(&self, d: Meters, threshold: f64) -> Meters {
-        assert!(threshold > 0.0 && threshold < 1.0, "PRR threshold must be in (0, 1)");
+        assert!(
+            threshold > 0.0 && threshold < 1.0,
+            "PRR threshold must be in (0, 1)"
+        );
         let d = d.max(self.channel.reference_distance());
         let sigma = self.channel.sigma().value();
         // PRR = threshold  ⇔  (T_sir + 10α log10(d/r)) / (√2 σ) = Φ⁻¹(1 − threshold)
         let z = crate::math::std_normal_quantile(1.0 - threshold);
-        let log_ratio =
-            (z * std::f64::consts::SQRT_2 * sigma - self.t_sir.value()) / (10.0 * self.channel.alpha());
+        let log_ratio = (z * std::f64::consts::SQRT_2 * sigma - self.t_sir.value())
+            / (10.0 * self.channel.alpha());
         // log10(d/r) = log_ratio  ⇒  r = d / 10^log_ratio
         Meters::new(d.value() / 10f64.powf(log_ratio))
     }
@@ -250,7 +258,10 @@ mod tests {
         for threshold in [0.5, 0.9, 0.95] {
             let r = m.interference_range(d, threshold);
             let back = m.prr(d, r);
-            assert!((back - threshold).abs() < 1e-9, "threshold {threshold}: r = {r}");
+            assert!(
+                (back - threshold).abs() < 1e-9,
+                "threshold {threshold}: r = {r}"
+            );
         }
     }
 

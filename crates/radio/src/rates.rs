@@ -140,20 +140,30 @@ impl Rate {
     /// or `None` if even the base rate cannot be decoded. This is the
     /// "ideal" rate-selection rule used by the simulator's auto-rate.
     pub fn best_for_sinr(standard: PhyStandard, sinr: Db) -> Option<Rate> {
-        Rate::all(standard).iter().rev().find(|r| r.min_sinr() <= sinr).copied()
+        Rate::all(standard)
+            .iter()
+            .rev()
+            .find(|r| r.min_sinr() <= sinr)
+            .copied()
     }
 
     /// The next rate down in the family, or `None` at the base rate.
     pub fn step_down(self) -> Option<Rate> {
         let set = Rate::all(self.standard());
-        let idx = set.iter().position(|&r| r == self).expect("rate in own family");
+        let idx = set
+            .iter()
+            .position(|&r| r == self)
+            .expect("rate in own family");
         idx.checked_sub(1).map(|i| set[i])
     }
 
     /// The next rate up in the family, or `None` at the top rate.
     pub fn step_up(self) -> Option<Rate> {
         let set = Rate::all(self.standard());
-        let idx = set.iter().position(|&r| r == self).expect("rate in own family");
+        let idx = set
+            .iter()
+            .position(|&r| r == self)
+            .expect("rate in own family");
         set.get(idx + 1).copied()
     }
 }
@@ -196,11 +206,23 @@ mod tests {
 
     #[test]
     fn best_for_sinr_picks_fastest_decodable() {
-        assert_eq!(Rate::best_for_sinr(PhyStandard::Dsss, Db::new(30.0)), Some(Rate::Mbps11));
-        assert_eq!(Rate::best_for_sinr(PhyStandard::Dsss, Db::new(9.5)), Some(Rate::Mbps5_5));
-        assert_eq!(Rate::best_for_sinr(PhyStandard::Dsss, Db::new(4.0)), Some(Rate::Mbps1));
+        assert_eq!(
+            Rate::best_for_sinr(PhyStandard::Dsss, Db::new(30.0)),
+            Some(Rate::Mbps11)
+        );
+        assert_eq!(
+            Rate::best_for_sinr(PhyStandard::Dsss, Db::new(9.5)),
+            Some(Rate::Mbps5_5)
+        );
+        assert_eq!(
+            Rate::best_for_sinr(PhyStandard::Dsss, Db::new(4.0)),
+            Some(Rate::Mbps1)
+        );
         assert_eq!(Rate::best_for_sinr(PhyStandard::Dsss, Db::new(3.9)), None);
-        assert_eq!(Rate::best_for_sinr(PhyStandard::ErpOfdm, Db::new(22.0)), Some(Rate::Mbps36));
+        assert_eq!(
+            Rate::best_for_sinr(PhyStandard::ErpOfdm, Db::new(22.0)),
+            Some(Rate::Mbps36)
+        );
     }
 
     #[test]

@@ -7,14 +7,18 @@ use comap_radio::units::{Db, Dbm, Meters};
 use proptest::prelude::*;
 
 fn arb_model() -> impl Strategy<Value = ReceptionModel> {
-    ((-10.0..25.0f64), (2.0..4.5f64), (1.0..8.0f64), (2.0..12.0f64)).prop_map(
-        |(tx, alpha, sigma, t_sir)| {
+    (
+        (-10.0..25.0f64),
+        (2.0..4.5f64),
+        (1.0..8.0f64),
+        (2.0..12.0f64),
+    )
+        .prop_map(|(tx, alpha, sigma, t_sir)| {
             ReceptionModel::new(
                 LogNormalShadowing::from_friis(Dbm::new(tx), alpha, Db::new(sigma)),
                 Db::new(t_sir),
             )
-        },
-    )
+        })
 }
 
 proptest! {

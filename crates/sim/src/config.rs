@@ -52,7 +52,10 @@ impl MacFeatures {
     };
 
     /// Plain DCF with RTS/CTS virtual carrier sense.
-    pub const DCF_RTS_CTS: MacFeatures = MacFeatures { rts_cts: true, ..MacFeatures::DCF };
+    pub const DCF_RTS_CTS: MacFeatures = MacFeatures {
+        rts_cts: true,
+        ..MacFeatures::DCF
+    };
 
     /// `true` if any CO-MAP feature is on (RTS/CTS is a baseline
     /// feature, not a CO-MAP one).
@@ -288,7 +291,8 @@ mod tests {
     fn feature_override_wins() {
         let mut cfg = SimConfig::testbed(1);
         cfg.default_features = MacFeatures::COMAP;
-        let a = cfg.add_node(NodeSpec::client("a", Position::ORIGIN).with_features(MacFeatures::DCF));
+        let a =
+            cfg.add_node(NodeSpec::client("a", Position::ORIGIN).with_features(MacFeatures::DCF));
         let b = cfg.add_node(NodeSpec::client("b", Position::ORIGIN));
         assert_eq!(cfg.features_of(a), MacFeatures::DCF);
         assert_eq!(cfg.features_of(b), MacFeatures::COMAP);

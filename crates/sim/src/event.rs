@@ -55,7 +55,10 @@ struct Scheduled {
 // Reverse ordering: BinaryHeap is a max-heap, we need earliest-first.
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

@@ -107,20 +107,29 @@ mod tests {
         let d = Frame {
             src: NodeId(0),
             dst: NodeId(1),
-            body: FrameBody::Data { seq: 3, payload_bytes: 700, retry: false },
+            body: FrameBody::Data {
+                seq: 3,
+                payload_bytes: 700,
+                retry: false,
+            },
             rate: Rate::Mbps11,
         };
         assert_eq!(d.kind(), FrameKind::Data);
         assert_eq!(d.on_air_bytes(), 728);
 
         let h = Frame {
-            body: FrameBody::Discovery { data_duration: SimDuration::from_micros(900) },
+            body: FrameBody::Discovery {
+                data_duration: SimDuration::from_micros(900),
+            },
             ..d
         };
         assert_eq!(h.kind(), FrameKind::DiscoveryHeader);
         assert_eq!(h.on_air_bytes(), comap_mac::frames::DISCOVERY_HEADER_BYTES);
 
-        let a = Frame { body: FrameBody::Ack { seq: 3, sr: None }, ..d };
+        let a = Frame {
+            body: FrameBody::Ack { seq: 3, sr: None },
+            ..d
+        };
         assert_eq!(a.kind(), FrameKind::Ack);
         assert_eq!(a.on_air_bytes(), comap_mac::frames::ACK_BYTES);
     }

@@ -200,7 +200,11 @@ struct TrafficState {
 
 impl TrafficState {
     fn new(pattern: Traffic) -> Self {
-        TrafficState { pattern, bucket: 0.0, last: SimTime::ZERO }
+        TrafficState {
+            pattern,
+            bucket: 0.0,
+            last: SimTime::ZERO,
+        }
     }
 
     fn refresh(&mut self, now: SimTime) {
@@ -360,9 +364,14 @@ impl Mac {
 
     /// Registers an outgoing flow.
     pub fn add_flow(&mut self, dst: NodeId, traffic: Traffic) {
-        self.flows.push(Flow { dst, traffic: TrafficState::new(traffic), next_seq: 0 });
+        self.flows.push(Flow {
+            dst,
+            traffic: TrafficState::new(traffic),
+            next_seq: 0,
+        });
         if self.cfg.features.selective_repeat {
-            self.arq_tx.insert(dst, SelectiveRepeatSender::new(self.cfg.arq_window));
+            self.arq_tx
+                .insert(dst, SelectiveRepeatSender::new(self.cfg.arq_window));
         }
     }
 
@@ -467,14 +476,24 @@ impl Mac {
                 out.push(MacAction::Stat(StatEvent::HeaderHeard));
                 self.consider_opportunity(frame, data_duration, rssi, ctx, out);
             }
-            FrameBody::Data { seq, payload_bytes, retry } => {
+            FrameBody::Data {
+                seq,
+                payload_bytes,
+                retry,
+            } => {
                 if frame.dst != self.cfg.id {
                     return;
                 }
                 let (is_new, ack_body) = if self.cfg.features.selective_repeat {
                     let rx = self.arq_rx.entry(frame.src).or_default();
                     let new = rx.on_frame(seq);
-                    (new, FrameBody::Ack { seq, sr: Some(rx.ack()) })
+                    (
+                        new,
+                        FrameBody::Ack {
+                            seq,
+                            sr: Some(rx.ack()),
+                        },
+                    )
                 } else {
                     let new = !retry || self.rx_dedup.get(&frame.src) != Some(&seq);
                     self.rx_dedup.insert(frame.src, seq);
@@ -503,10 +522,10 @@ impl Mac {
                 if frame.dst == self.cfg.id {
                     // Answer with a CTS after SIFS; its NAV covers the
                     // rest of the exchange.
-                    let cts_air = self.cfg.phy.frame_duration(
-                        comap_mac::frames::CTS_BYTES,
-                        self.cfg.phy.control_rate(),
-                    );
+                    let cts_air = self
+                        .cfg
+                        .phy
+                        .frame_duration(comap_mac::frames::CTS_BYTES, self.cfg.phy.control_rate());
                     let cts_nav = nav - self.cfg.phy.sifs() - cts_air;
                     self.pending_ack = Some((frame.src, FrameBody::Cts { nav: cts_nav }));
                     out.push(MacAction::ArmResponderTimer(ctx.now + self.cfg.phy.sifs()));
@@ -543,7 +562,9 @@ impl Mac {
     fn set_nav(&mut self, until: SimTime, out: &mut Vec<MacAction>) {
         if until > self.nav_until {
             self.nav_until = until;
-            out.push(MacAction::ScheduleTraffic(until + SimDuration::from_nanos(1)));
+            out.push(MacAction::ScheduleTraffic(
+                until + SimDuration::from_nanos(1),
+            ));
         }
     }
 
@@ -579,9 +600,7 @@ impl Mac {
                 // needs the ACK to slide.
                 let _ = window.on_ack(sr);
             }
-            if self.state == FlowState::WaitAck
-                && self.pending.map(|p| p.dst) == Some(from)
-            {
+            if self.state == FlowState::WaitAck && self.pending.map(|p| p.dst) == Some(from) {
                 self.state = FlowState::Idle;
                 self.pending = None;
                 self.retries = 0;
@@ -620,15 +639,17 @@ impl Mac {
             }
             FrameKind::Data => {
                 self.state = FlowState::WaitAck;
-                out.push(MacAction::ArmFlowTimer(ctx.now + self.cfg.phy.ack_timeout()));
+                out.push(MacAction::ArmFlowTimer(
+                    ctx.now + self.cfg.phy.ack_timeout(),
+                ));
             }
             FrameKind::Rts => {
                 self.state = FlowState::WaitCts;
                 let timeout = self.cfg.phy.sifs()
-                    + self.cfg.phy.frame_duration(
-                        comap_mac::frames::CTS_BYTES,
-                        self.cfg.phy.control_rate(),
-                    )
+                    + self
+                        .cfg
+                        .phy
+                        .frame_duration(comap_mac::frames::CTS_BYTES, self.cfg.phy.control_rate())
                     + self.cfg.phy.slot();
                 out.push(MacAction::ArmFlowTimer(ctx.now + timeout));
             }
@@ -711,7 +732,8 @@ impl Mac {
                 self.state = FlowState::Idle;
             } else {
                 self.pending = Some(PendingFrame { retry: true, ..p });
-                self.backoff = Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
+                self.backoff =
+                    Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
                 self.state = FlowState::Contend;
                 self.wait = WaitPhase::NeedIdle;
             }
@@ -726,7 +748,12 @@ impl Mac {
             // Radio occupied (rare): the ACK is lost, as on real hardware.
             return;
         }
-        let ack = Frame { src: self.cfg.id, dst: to, body, rate: self.cfg.phy.control_rate() };
+        let ack = Frame {
+            src: self.cfg.id,
+            dst: to,
+            body,
+            rate: self.cfg.phy.control_rate(),
+        };
         out.push(MacAction::Trace(TraceEvent::TxStart {
             node: self.cfg.id,
             dst: to,
@@ -841,14 +868,22 @@ impl Mac {
         }
     }
 
-    fn try_flow(&mut self, idx: usize, ctx: MacCtx, out: &mut Vec<MacAction>) -> Option<PendingFrame> {
+    fn try_flow(
+        &mut self,
+        idx: usize,
+        ctx: MacCtx,
+        out: &mut Vec<MacAction>,
+    ) -> Option<PendingFrame> {
         let payload = self.payload_for(self.flows[idx].dst);
         let dst = self.flows[idx].dst;
         let flow = &mut self.flows[idx];
         flow.traffic.refresh(ctx.now);
 
         if self.cfg.features.selective_repeat {
-            let window = self.arq_tx.get_mut(&dst).expect("ARQ window exists per flow");
+            let window = self
+                .arq_tx
+                .get_mut(&dst)
+                .expect("ARQ window exists per flow");
             // Keep the window full.
             while window.has_room() && flow.traffic.available() >= f64::from(payload) {
                 flow.traffic.take(payload);
@@ -863,14 +898,24 @@ impl Mac {
                     continue;
                 }
                 let payload = window.payload_of(seq).unwrap_or(payload);
-                return Some(PendingFrame { dst, seq, payload, retry: attempts > 0 });
+                return Some(PendingFrame {
+                    dst,
+                    seq,
+                    payload,
+                    retry: attempts > 0,
+                });
             }
         } else {
             if flow.traffic.available() >= f64::from(payload) {
                 flow.traffic.take(payload);
                 let seq = flow.next_seq;
                 flow.next_seq += 1;
-                return Some(PendingFrame { dst, seq, payload, retry: false });
+                return Some(PendingFrame {
+                    dst,
+                    seq,
+                    payload,
+                    retry: false,
+                });
             }
             None
         }
@@ -901,7 +946,10 @@ impl Mac {
                 // The adaptation table's window is installed as the
                 // *initial* window; collisions still escalate it, as
                 // 802.11 requires.
-                return BackoffPolicy::Beb { cw_min: s.cw, cw_max: 1023 };
+                return BackoffPolicy::Beb {
+                    cw_min: s.cw,
+                    cw_max: 1023,
+                };
             }
         }
         self.cfg.backoff
@@ -928,10 +976,10 @@ impl Mac {
             // NAV from the end of the RTS: SIFS + CTS + SIFS + data +
             // SIFS + ACK.
             let nav = self.cfg.phy.sifs()
-                + self.cfg.phy.frame_duration(
-                    comap_mac::frames::CTS_BYTES,
-                    self.cfg.phy.control_rate(),
-                )
+                + self
+                    .cfg
+                    .phy
+                    .frame_duration(comap_mac::frames::CTS_BYTES, self.cfg.phy.control_rate())
                 + self.cfg.phy.sifs()
                 + self.cfg.phy.frame_duration(data_bytes, data_rate)
                 + self.cfg.phy.sifs()
@@ -986,7 +1034,11 @@ impl Mac {
         Frame {
             src: self.cfg.id,
             dst: p.dst,
-            body: FrameBody::Data { seq: p.seq, payload_bytes: p.payload, retry: p.retry },
+            body: FrameBody::Data {
+                seq: p.seq,
+                payload_bytes: p.payload,
+                retry: p.retry,
+            },
             rate,
         }
     }
@@ -1029,8 +1081,7 @@ impl Mac {
         }
         // Remember the discovery even when we cannot act on it right now:
         // a frame admitted mid-transmission re-checks it.
-        self.ongoing =
-            Some(((header.src, header.dst), ctx.now, ctx.now + data_duration));
+        self.ongoing = Some(((header.src, header.dst), ctx.now, ctx.now + data_duration));
         self.try_enter_opportunity(ctx, out);
     }
 
@@ -1043,7 +1094,9 @@ impl Mac {
         if self.state != FlowState::Contend {
             return;
         }
-        let Some(((src, dst), data_start, until)) = self.ongoing else { return };
+        let Some(((src, dst), data_start, until)) = self.ongoing else {
+            return;
+        };
         if ctx.now >= until {
             self.ongoing = None;
             return;
@@ -1055,7 +1108,9 @@ impl Mac {
             return;
         }
         let Some(proto) = &mut self.proto else { return };
-        let allowed = proto.concurrency_allowed((src, dst), p.dst).unwrap_or(false);
+        let allowed = proto
+            .concurrency_allowed((src, dst), p.dst)
+            .unwrap_or(false);
         if !allowed {
             return;
         }
@@ -1063,13 +1118,21 @@ impl Mac {
         // ambient power *is* RSSI₁. Joining at discovery time: the data
         // has not started, so the watchdog arms on the first clear rise.
         let sched = if ctx.now > data_start {
-            self.proto.as_ref().map(|pr| pr.arm_scheduler(ctx.sensed.to_dbm()))
+            self.proto
+                .as_ref()
+                .map(|pr| pr.arm_scheduler(ctx.sensed.to_dbm()))
         } else {
             None
         };
-        self.opportunity =
-            Some(Opportunity { link: (src, dst), until, baseline: ctx.sensed, sched });
-        out.push(MacAction::Trace(TraceEvent::EtOpportunity { node: self.cfg.id }));
+        self.opportunity = Some(Opportunity {
+            link: (src, dst),
+            until,
+            baseline: ctx.sensed,
+            sched,
+        });
+        out.push(MacAction::Trace(TraceEvent::EtOpportunity {
+            node: self.cfg.id,
+        }));
         // sync() will resume the backoff under the watchdog.
     }
 

@@ -12,16 +12,30 @@
 //! currently locked signal steals the lock (preamble capture) — without
 //! it, two saturated hidden flows annihilate each other completely, which
 //! neither commodity hardware nor NS-2 reproduces.
+//!
+//! # The power ledger invariant
+//!
+//! The ambient power a node senses is a **pure function of the set of
+//! transmissions currently on the air**: per-receiver powers are
+//! quantized onto the exact integer grid of
+//! [`QuantizedPower`](comap_radio::units::QuantizedPower) when a frame
+//! starts, and the same grains are subtracted when it ends, so
+//! [`Medium::sensed`] is bit-identical no matter how many frames have
+//! come and gone in between. Debug builds verify the ledger against a
+//! from-scratch recomputation after every [`Medium::begin`] /
+//! [`Medium::end`]; release callers can do the same through
+//! [`Medium::ledger_divergence_grains`].
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use comap_mac::time::SimTime;
 use comap_radio::pathloss::{sample_standard_normal, LogNormalShadowing};
-use comap_radio::units::{Db, Dbm, Meters, MilliWatts};
+use comap_radio::units::{Db, Dbm, Meters, MilliWatts, QuantizedPower};
 use comap_radio::{Position, NOISE_FLOOR};
 
 use crate::frame::{Frame, NodeId, TxId};
+use crate::stats::MediumStats;
 
 /// A notification the medium hands back to the simulator for a node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,7 +105,9 @@ impl RxLock {
 #[derive(Debug, Clone, Copy, Default)]
 struct PhyState {
     transmitting: Option<TxId>,
-    incoming: MilliWatts,
+    /// Exact ledger of the ambient power arriving from every active
+    /// transmission (own transmissions excluded).
+    incoming: QuantizedPower,
     lock: Option<RxLock>,
 }
 
@@ -100,8 +116,27 @@ struct ActiveTx {
     id: TxId,
     frame: Frame,
     end: SimTime,
-    /// Received power of this transmission at every node (own entry 0).
-    powers: Vec<MilliWatts>,
+    /// Received power of this transmission at every node (own entry 0),
+    /// pre-quantized so begin/end move identical grains.
+    powers: Vec<QuantizedPower>,
+}
+
+/// Cached mean received power of one ordered link: mean path loss at the
+/// current distance plus the static per-run shadowing draw. Kept in both
+/// domains so the σ = 0 fast path needs no `powf` at all.
+#[derive(Debug, Clone, Copy)]
+struct LinkMean {
+    dbm: Dbm,
+    quantized: QuantizedPower,
+}
+
+impl LinkMean {
+    fn new(dbm: Dbm) -> Self {
+        LinkMean {
+            dbm,
+            quantized: QuantizedPower::from_milliwatts(dbm.to_milliwatts()),
+        }
+    }
 }
 
 /// Per-frame fading deviation: for *static* nodes most of the shadowing
@@ -110,7 +145,18 @@ struct ActiveTx {
 /// run, keeping the total variance at the channel\'s σ².
 const FAST_SIGMA_DB: f64 = 1.5;
 
-/// The medium over a set of static node positions.
+/// Bits of a [`TxId`] used for the slab slot; the rest hold a
+/// never-reused generation count, so a stale id can never alias a live
+/// transmission occupying the same slot.
+const SLOT_BITS: u32 = 32;
+
+impl TxId {
+    fn slot(self) -> usize {
+        (self.0 & ((1 << SLOT_BITS) - 1)) as usize
+    }
+}
+
+/// The medium over a set of node positions.
 #[derive(Debug)]
 pub struct Medium {
     channel: LogNormalShadowing,
@@ -120,19 +166,31 @@ pub struct Medium {
     /// (the paper\'s in-band header implementation, Section V method 1).
     inband_announce: bool,
     states: Vec<PhyState>,
-    active: Vec<ActiveTx>,
-    next_tx: u64,
+    /// Active transmissions, slab-addressed by the slot encoded in their
+    /// [`TxId`] — O(1) lookup instead of a linear scan.
+    slots: Vec<Option<ActiveTx>>,
+    /// Vacated slab slots available for reuse.
+    free_slots: Vec<u32>,
+    /// Number of occupied slots.
+    live: usize,
+    /// Generation counter feeding new [`TxId`]s.
+    next_gen: u64,
     rng: StdRng,
-    /// Static (per-run) shadowing per ordered node pair, symmetric.
-    static_shadow: Vec<Db>,
+    /// Mean received power per ordered link (`src * n + dst`): mean path
+    /// loss plus the static shadowing draw. Invalidated only by
+    /// [`Medium::set_position`], so `begin()` does one table lookup plus
+    /// a fast-fading draw per receiver.
+    link_mean: Vec<LinkMean>,
     fast_sigma: Db,
+    stats: MediumStats,
 }
 
 impl Medium {
     /// Creates a medium for nodes at `positions` over `channel`. The
     /// channel\'s shadowing deviation is split into a static per-link
-    /// component (drawn here, reciprocal) and a small per-frame fading
-    /// component of at most [`FAST_SIGMA_DB`].
+    /// component (drawn here, reciprocal, folded into the link cache)
+    /// and a small per-frame fading component of at most
+    /// [`FAST_SIGMA_DB`].
     pub fn new(
         channel: LogNormalShadowing,
         positions: Vec<Position>,
@@ -144,12 +202,14 @@ impl Medium {
         let sigma = channel.sigma().value();
         let fast = sigma.min(FAST_SIGMA_DB);
         let slow = (sigma * sigma - fast * fast).max(0.0).sqrt();
-        let mut static_shadow = vec![Db::ZERO; n * n];
+        let mut link_mean = vec![LinkMean::new(Dbm::MIN); n * n];
         for a in 0..n {
             for b in (a + 1)..n {
                 let draw = Db::new(slow * sample_standard_normal(&mut rng));
-                static_shadow[a * n + b] = draw;
-                static_shadow[b * n + a] = draw;
+                let d = positions[a].distance_to(positions[b]).max(Meters::new(1.0));
+                let mean = LinkMean::new(channel.mean_power(d) + draw);
+                link_mean[a * n + b] = mean;
+                link_mean[b * n + a] = mean;
             }
         }
         Medium {
@@ -158,11 +218,14 @@ impl Medium {
             capture,
             inband_announce: false,
             states,
-            active: Vec::new(),
-            next_tx: 0,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
+            next_gen: 0,
             rng,
-            static_shadow,
+            link_mean,
             fast_sigma: Db::new(fast),
+            stats: MediumStats::default(),
         }
     }
 
@@ -173,7 +236,8 @@ impl Medium {
 
     /// Moves a node: future propagation uses the new position, and the
     /// static shadowing of every link involving the node is redrawn (a
-    /// mover meets new walls). Transmissions already on the air keep the
+    /// mover meets new walls); both invalidate exactly the moved node's
+    /// rows of the link cache. Transmissions already on the air keep the
     /// powers they were drawn with.
     pub fn set_position(&mut self, node: NodeId, to: Position) {
         let n = self.positions.len();
@@ -184,25 +248,35 @@ impl Medium {
         for other in 0..n {
             if other != node.0 {
                 let draw = Db::new(slow * sample_standard_normal(&mut self.rng));
-                self.static_shadow[node.0 * n + other] = draw;
-                self.static_shadow[other * n + node.0] = draw;
+                let d = self.positions[node.0]
+                    .distance_to(self.positions[other])
+                    .max(Meters::new(1.0));
+                let mean = LinkMean::new(self.channel.mean_power(d) + draw);
+                self.link_mean[node.0 * n + other] = mean;
+                self.link_mean[other * n + node.0] = mean;
             }
         }
     }
 
-    /// One received-power sample for the link `src → dst`: mean path loss
-    /// plus the static per-link shadow plus fresh fast fading.
-    fn sample_link_power(&mut self, src: usize, dst: usize) -> MilliWatts {
-        let d = self.positions[src].distance_to(self.positions[dst]).max(Meters::new(1.0));
+    /// One received-power sample for the link `src → dst`: the cached
+    /// mean link power plus fresh fast fading (skipped entirely when the
+    /// fading deviation is zero — the cache already holds the exact
+    /// quantized power).
+    fn sample_link_power(&mut self, src: usize, dst: usize) -> QuantizedPower {
         let n = self.positions.len();
+        let mean = self.link_mean[src * n + dst];
+        if self.fast_sigma.value() == 0.0 {
+            return mean.quantized;
+        }
         let fast = Db::new(self.fast_sigma.value() * sample_standard_normal(&mut self.rng));
-        (self.channel.mean_power(d) + self.static_shadow[src * n + dst] + fast).to_milliwatts()
+        QuantizedPower::from_milliwatts((mean.dbm + fast).to_milliwatts())
     }
 
     /// Total ambient power currently sensed at `node` (noise floor plus
-    /// every active transmission, excluding the node's own).
+    /// every active transmission, excluding the node's own). A pure
+    /// function of the active-transmission set — see the module docs.
     pub fn sensed(&self, node: NodeId) -> MilliWatts {
-        NOISE_FLOOR.to_milliwatts() + self.states[node.0].incoming
+        NOISE_FLOOR.to_milliwatts() + self.states[node.0].incoming.to_milliwatts()
     }
 
     /// Whether `node` is currently transmitting.
@@ -218,7 +292,77 @@ impl Medium {
 
     /// Number of transmissions currently on the air.
     pub fn active_count(&self) -> usize {
-        self.active.len()
+        self.live
+    }
+
+    /// Counters of capture, hazard and ledger-verification events.
+    pub fn stats(&self) -> MediumStats {
+        self.stats
+    }
+
+    /// Recomputes `node`'s incoming power from scratch over the active
+    /// transmissions — the reference the incremental ledger must match.
+    fn recomputed_incoming(&self, node: usize) -> QuantizedPower {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|a| a.frame.src.0 != node)
+            .map(|a| a.powers[node])
+            .sum()
+    }
+
+    /// Largest divergence (in ledger grains) between any node's
+    /// incremental ledger and a from-scratch recomputation over the
+    /// active set. The ledger invariant says this is always 0; the
+    /// long-run drift test pins that down.
+    pub fn ledger_divergence_grains(&self) -> u128 {
+        (0..self.positions.len())
+            .map(|n| {
+                self.states[n]
+                    .incoming
+                    .abs_diff(self.recomputed_incoming(n))
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Debug-build ledger verification, run after every mutation.
+    fn debug_check_ledger(&mut self) {
+        if cfg!(debug_assertions) {
+            self.stats.ledger_checks += 1;
+            let divergence = self.ledger_divergence_grains();
+            debug_assert_eq!(divergence, 0, "power ledger diverged from the active set");
+        }
+    }
+
+    /// Allocates a slab slot for a new transmission and returns its id.
+    fn allocate(&mut self, active: ActiveTx) -> TxId {
+        let slot = match self.free_slots.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(None);
+                self.slots.len() - 1
+            }
+        };
+        assert!(slot < (1usize << SLOT_BITS), "transmission slab exhausted");
+        let id = TxId((self.next_gen << SLOT_BITS) | slot as u64);
+        self.next_gen += 1;
+        self.slots[slot] = Some(ActiveTx { id, ..active });
+        self.live += 1;
+        id
+    }
+
+    /// Looks up an active transmission by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` is not on the air.
+    fn active(&self, tx: TxId) -> &ActiveTx {
+        self.slots
+            .get(tx.slot())
+            .and_then(Option::as_ref)
+            .filter(|a| a.id == tx)
+            .unwrap_or_else(|| panic!("transmission {tx:?} not on the air"))
     }
 
     /// Puts `frame` on the air from its source at `now`, lasting until
@@ -226,28 +370,43 @@ impl Medium {
     ///
     /// # Panics
     ///
-    /// Panics if the source is already transmitting.
-    pub fn begin(&mut self, frame: Frame, now: SimTime, end: SimTime) -> (TxId, Vec<(NodeId, PhyNote)>) {
+    /// Panics if the source is already transmitting, or if `end` is not
+    /// after `now`.
+    pub fn begin(
+        &mut self,
+        frame: Frame,
+        now: SimTime,
+        end: SimTime,
+    ) -> (TxId, Vec<(NodeId, PhyNote)>) {
         let src = frame.src.0;
         assert!(
             self.states[src].transmitting.is_none(),
             "node {} started a second transmission",
             frame.src
         );
-        let id = TxId(self.next_tx);
-        self.next_tx += 1;
+        assert!(
+            end > now,
+            "transmission must end after it begins ({now} .. {end})"
+        );
 
         // One fading draw per receiver, consistent for the frame's whole
         // lifetime.
-        let powers: Vec<MilliWatts> = (0..self.positions.len())
+        let powers: Vec<QuantizedPower> = (0..self.positions.len())
             .map(|n| {
                 if n == src {
-                    MilliWatts::ZERO
+                    QuantizedPower::ZERO
                 } else {
                     self.sample_link_power(src, n)
                 }
             })
             .collect();
+
+        let id = self.allocate(ActiveTx {
+            id: TxId(0),
+            frame,
+            end,
+            powers: powers.clone(),
+        });
 
         self.states[src].transmitting = Some(id);
         // A transmitting node cannot keep receiving: it loses any lock.
@@ -255,18 +414,19 @@ impl Medium {
 
         let mut notes = Vec::new();
         let capture = self.capture;
-        for n in 0..self.positions.len() {
+        let mut captures = 0;
+        for (n, &power) in powers.iter().enumerate() {
             if n == src {
                 continue;
             }
-            let p = powers[n];
+            let p = power.to_milliwatts();
             let state = &mut self.states[n];
-            let ambient = NOISE_FLOOR.to_milliwatts() + state.incoming;
+            let ambient = NOISE_FLOOR.to_milliwatts() + state.incoming.to_milliwatts();
             let threshold = frame.rate.min_sinr().to_linear();
             let decodable =
                 state.transmitting.is_none() && p.value() / ambient.value() >= threshold;
-            state.incoming += p;
-            let incoming_now = state.incoming;
+            state.incoming += power;
+            let incoming_now = state.incoming.to_milliwatts();
             let mut announced = false;
             state.lock = match state.lock {
                 None if decodable => {
@@ -285,12 +445,12 @@ impl Medium {
                     // Close the exposure span at the old interference
                     // level, then raise it.
                     lock.accrue(now);
-                    lock.interference =
-                        NOISE_FLOOR.to_milliwatts() + incoming_now - lock.signal;
+                    lock.interference = NOISE_FLOOR.to_milliwatts() + incoming_now - lock.signal;
                     // Preamble capture: the new frame is decodable even
                     // over the locked signal.
                     if capture && decodable {
                         announced = true;
+                        captures += 1;
                         Some(RxLock {
                             tx: id,
                             signal: p,
@@ -310,13 +470,17 @@ impl Medium {
             {
                 notes.push((
                     NodeId(n),
-                    PhyNote::Announce { link: (frame.src, frame.dst), data_end: end },
+                    PhyNote::Announce {
+                        link: (frame.src, frame.dst),
+                        data_end: end,
+                    },
                 ));
             }
             notes.push((NodeId(n), PhyNote::Sense));
         }
 
-        self.active.push(ActiveTx { id, frame, end, powers });
+        self.stats.captures += captures;
+        self.debug_check_ledger();
         (id, notes)
     }
 
@@ -327,24 +491,32 @@ impl Medium {
     ///
     /// # Panics
     ///
-    /// Panics if `tx` is not on the air.
+    /// Panics if `tx` is not on the air, or if `now` differs from the
+    /// end time the transmission was scheduled with — ending a frame at
+    /// the wrong instant would corrupt every overlapping hazard
+    /// integral, so the medium refuses instead of silently accepting it.
     pub fn end(&mut self, tx: TxId, now: SimTime) -> Vec<(NodeId, PhyNote)> {
-        let idx = self
-            .active
-            .iter()
-            .position(|a| a.id == tx)
-            .unwrap_or_else(|| panic!("transmission {tx:?} not on the air"));
-        let ActiveTx { id, frame, powers, .. } = self.active.swap_remove(idx);
+        let scheduled = self.active(tx).end;
+        assert_eq!(
+            scheduled, now,
+            "Medium::end({tx:?}) at {now}, but the transmission is scheduled to end at {scheduled}"
+        );
+        let slot = tx.slot();
+        let ActiveTx {
+            id, frame, powers, ..
+        } = self.slots[slot].take().expect("checked by active()");
+        self.free_slots.push(slot as u32);
+        self.live -= 1;
 
         let src = frame.src.0;
         self.states[src].transmitting = None;
 
         let mut notes = Vec::new();
-        for n in 0..self.positions.len() {
+        for (n, &power) in powers.iter().enumerate() {
             if n == src {
                 continue;
             }
-            self.states[n].incoming = self.states[n].incoming - powers[n];
+            self.states[n].incoming -= power;
             if let Some(mut lock) = self.states[n].lock {
                 if lock.tx == id {
                     // Close the final exposure span and draw survival.
@@ -354,27 +526,38 @@ impl Medium {
                     if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
                         notes.push((
                             NodeId(n),
-                            PhyNote::Rx { frame, rssi: lock.signal.to_dbm() },
+                            PhyNote::Rx {
+                                frame,
+                                rssi: lock.signal.to_dbm(),
+                            },
                         ));
+                    } else {
+                        self.stats.hazard_drops += 1;
                     }
                 } else {
                     // The locked frame's interference just dropped: close
                     // its span at the old level.
                     lock.accrue(now);
-                    lock.interference =
-                        NOISE_FLOOR.to_milliwatts() + self.states[n].incoming - lock.signal;
+                    lock.interference = NOISE_FLOOR.to_milliwatts()
+                        + self.states[n].incoming.to_milliwatts()
+                        - lock.signal;
                     self.states[n].lock = Some(lock);
                 }
             }
             notes.push((NodeId(n), PhyNote::Sense));
         }
         notes.push((NodeId(src), PhyNote::TxDone { frame }));
+        self.debug_check_ledger();
         notes
     }
 
     /// The scheduled end time of an active transmission.
     pub fn end_time(&self, tx: TxId) -> Option<SimTime> {
-        self.active.iter().find(|a| a.id == tx).map(|a| a.end)
+        self.slots
+            .get(tx.slot())
+            .and_then(Option::as_ref)
+            .filter(|a| a.id == tx)
+            .map(|a| a.end)
     }
 
     /// The propagation channel in force.
@@ -403,7 +586,11 @@ mod tests {
         let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
         Medium::new(
             chan,
-            vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0), Position::new(200.0, 0.0)],
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(10.0, 0.0),
+                Position::new(200.0, 0.0),
+            ],
             true,
             StdRng::seed_from_u64(1),
         )
@@ -413,7 +600,11 @@ mod tests {
         Frame {
             src: NodeId(src),
             dst: NodeId(dst),
-            body: FrameBody::Data { seq: 0, payload_bytes: 500, retry: false },
+            body: FrameBody::Data {
+                seq: 0,
+                payload_bytes: 500,
+                retry: false,
+            },
             rate: Rate::Mbps11,
         }
     }
@@ -427,9 +618,9 @@ mod tests {
         let mut m = medium();
         let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
         let notes = m.end(tx, end_at(1000));
-        let rx = notes.iter().find(|(n, note)| {
-            *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })
-        });
+        let rx = notes
+            .iter()
+            .find(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. }));
         assert!(rx.is_some(), "B must receive: {notes:?}");
         assert!(notes
             .iter()
@@ -437,14 +628,15 @@ mod tests {
     }
 
     #[test]
-    fn sensed_power_rises_and_falls() {
+    fn sensed_power_rises_and_falls_exactly() {
         let mut m = medium();
         let idle = m.sensed(NodeId(1));
         let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
         assert!(m.sensed(NodeId(1)).value() > idle.value() * 100.0);
         m.end(tx, end_at(1000));
-        let after = m.sensed(NodeId(1));
-        assert!((after.value() - idle.value()).abs() < idle.value() * 1e-6);
+        // The exact ledger restores the idle level bit for bit — not
+        // merely within a tolerance.
+        assert_eq!(m.sensed(NodeId(1)), idle);
     }
 
     #[test]
@@ -463,7 +655,9 @@ mod tests {
         let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
         let notes = m.end(tx_a, end_at(1000));
         assert!(
-            !notes.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            !notes
+                .iter()
+                .any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
             "B was transmitting and must miss A's frame"
         );
         m.end(tx_b, end_at(1000));
@@ -478,12 +672,16 @@ mod tests {
         let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
         let notes_a = m.end(tx_a, end_at(1000));
         assert!(
-            notes_a.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            notes_a
+                .iter()
+                .any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
             "A's frame captures: {notes_a:?}"
         );
         let notes_c = m.end(tx_c, end_at(2000));
         assert!(
-            !notes_c.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            !notes_c
+                .iter()
+                .any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
             "C's frame is lost"
         );
     }
@@ -493,7 +691,11 @@ mod tests {
         let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
         let mut m = Medium::new(
             chan,
-            vec![Position::new(0.0, 0.0), Position::new(10.0, 0.0), Position::new(30.0, 0.0)],
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(10.0, 0.0),
+                Position::new(30.0, 0.0),
+            ],
             false,
             StdRng::seed_from_u64(1),
         );
@@ -504,39 +706,49 @@ mod tests {
         let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
         let notes_a = m.end(tx_a, end_at(1000));
         assert!(
-            !notes_a.iter().any(|(_, note)| matches!(note, PhyNote::Rx { .. })),
+            !notes_a
+                .iter()
+                .any(|(_, note)| matches!(note, PhyNote::Rx { .. })),
             "A must not be received without capture"
         );
         let notes_c = m.end(tx_c, end_at(2000));
         assert!(
-            !notes_c.iter().any(|(_, note)| matches!(note, PhyNote::Rx { .. })),
+            !notes_c
+                .iter()
+                .any(|(_, note)| matches!(note, PhyNote::Rx { .. })),
             "C was corrupted by A"
         );
     }
 
     #[test]
     fn interference_high_water_mark_outlives_the_interferer() {
-        // Interferer overlaps only the first half of the frame; the frame
-        // must still be judged by the worst-case overlap. Capture is off
-        // so the lock provably stays with the first frame.
+        // Interferer overlaps only the first quarter of the frame; the
+        // frame must still be judged by the worst-case overlap. Capture
+        // is off so the lock provably stays with the first frame.
         let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
         let mut m = Medium::new(
             chan,
             vec![
-                Position::new(0.0, 0.0),   // A: sender
-                Position::new(30.0, 0.0),  // B: receiver (30 m)
-                Position::new(32.0, 0.0),  // C: close interferer
+                Position::new(0.0, 0.0),  // A: sender
+                Position::new(30.0, 0.0), // B: receiver (30 m)
+                Position::new(32.0, 0.0), // C: close interferer
             ],
             false,
             StdRng::seed_from_u64(1),
         );
         let (tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(2000));
         let (tx_c, _) = m.begin(data(2, 0), SimTime::ZERO, end_at(500));
-        m.end(tx_c, end_at(2000)); // interferer gone before the frame ends
-        let notes = m.end(tx_a, end_at(1000));
+        m.end(tx_c, end_at(500)); // interferer gone long before the frame ends
+        let notes = m.end(tx_a, end_at(2000));
         assert!(
-            !notes.iter().any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
+            !notes
+                .iter()
+                .any(|(n, note)| *n == NodeId(1) && matches!(note, PhyNote::Rx { .. })),
             "frame must be corrupted by the transient interferer"
+        );
+        assert!(
+            m.stats().hazard_drops >= 1,
+            "the corruption shows up in the counters"
         );
     }
 
@@ -546,5 +758,77 @@ mod tests {
         let mut m = medium();
         let _ = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
         let _ = m.begin(data(0, 2), SimTime::ZERO, end_at(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled to end at")]
+    fn ending_at_the_wrong_time_panics() {
+        let mut m = medium();
+        let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        let _ = m.end(tx, end_at(900));
+    }
+
+    #[test]
+    #[should_panic(expected = "not on the air")]
+    fn ending_twice_panics() {
+        let mut m = medium();
+        let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        m.end(tx, end_at(1000));
+        let _ = m.end(tx, end_at(1000));
+    }
+
+    #[test]
+    fn slab_slots_are_reused_without_id_aliasing() {
+        let mut m = medium();
+        let (tx1, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        m.end(tx1, end_at(1000));
+        let (tx2, _) = m.begin(data(0, 1), end_at(1000), end_at(2000));
+        assert_ne!(tx1, tx2, "generations keep reused slots distinguishable");
+        assert_eq!(m.end_time(tx1), None, "the ended id is stale");
+        assert_eq!(m.end_time(tx2), Some(end_at(2000)));
+        assert_eq!(m.active_count(), 1);
+        m.end(tx2, end_at(2000));
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn capture_shows_up_in_the_counters() {
+        // C at 40 m (30 m from B): decodable alone (≈ −83 dBm, 12 dB over
+        // the floor) but weak enough that A's frame (−69 dBm from 10 m)
+        // clears the 11 Mbps threshold over it and steals the lock.
+        let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
+        let mut m = Medium::new(
+            chan,
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(10.0, 0.0),
+                Position::new(40.0, 0.0),
+            ],
+            true,
+            StdRng::seed_from_u64(1),
+        );
+        let (_tx_c, _) = m.begin(data(2, 1), SimTime::ZERO, end_at(2000));
+        assert_eq!(m.stats().captures, 0);
+        let (_tx_a, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        assert_eq!(m.stats().captures, 1, "A's frame captures B's lock");
+    }
+
+    #[test]
+    fn ledger_matches_recomputation_through_churn() {
+        let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+        let positions: Vec<Position> = (0..6)
+            .map(|i| Position::new(10.0 * i as f64, 3.0 * i as f64))
+            .collect();
+        let mut m = Medium::new(chan, positions, true, StdRng::seed_from_u64(3));
+        let mut t = 0u64;
+        for round in 0..200 {
+            let src = round % 6;
+            let dst = (round + 1) % 6;
+            let (tx, _) = m.begin(data(src, dst), end_at(t), end_at(t + 100));
+            assert_eq!(m.ledger_divergence_grains(), 0);
+            m.end(tx, end_at(t + 100));
+            assert_eq!(m.ledger_divergence_grains(), 0);
+            t += 100;
+        }
     }
 }

@@ -53,9 +53,7 @@ impl RateController {
             RateController::Fixed(rate) => rate,
             // The Minstrel variant is resolved statefully by the MAC; this
             // stateless path only provides its optimistic starting point.
-            RateController::Minstrel => {
-                *Rate::all(standard).last().expect("non-empty rate set")
-            }
+            RateController::Minstrel => *Rate::all(standard).last().expect("non-empty rate set"),
             RateController::IdealSinr { margin } => {
                 let signal = channel.mean_power(src.distance_to(dst));
                 let mut floor_mw = NOISE_FLOOR.to_milliwatts();
@@ -64,11 +62,10 @@ impl RateController {
                     floor_mw += channel.mean_power(d).to_milliwatts();
                 }
                 let sinr = (signal - floor_mw.to_dbm()) - margin;
-                Rate::best_for_sinr(standard, sinr)
-                    .unwrap_or_else(|| match standard {
-                        PhyStandard::Dsss => Rate::Mbps1,
-                        PhyStandard::ErpOfdm => Rate::Mbps6,
-                    })
+                Rate::best_for_sinr(standard, sinr).unwrap_or(match standard {
+                    PhyStandard::Dsss => Rate::Mbps1,
+                    PhyStandard::ErpOfdm => Rate::Mbps6,
+                })
             }
         }
     }
@@ -98,7 +95,9 @@ mod tests {
 
     #[test]
     fn ideal_rate_decreases_with_distance() {
-        let rc = RateController::IdealSinr { margin: Db::new(5.0) };
+        let rc = RateController::IdealSinr {
+            margin: Db::new(5.0),
+        };
         let mut prev = Rate::Mbps11;
         for d in [5.0, 20.0, 40.0, 60.0, 90.0] {
             let r = rc.select(
@@ -116,7 +115,9 @@ mod tests {
 
     #[test]
     fn close_links_use_top_rate() {
-        let rc = RateController::IdealSinr { margin: Db::new(5.0) };
+        let rc = RateController::IdealSinr {
+            margin: Db::new(5.0),
+        };
         let r = rc.select(
             &chan(),
             PhyStandard::Dsss,
@@ -129,7 +130,9 @@ mod tests {
 
     #[test]
     fn known_interferer_lowers_the_rate() {
-        let rc = RateController::IdealSinr { margin: Db::new(3.0) };
+        let rc = RateController::IdealSinr {
+            margin: Db::new(3.0),
+        };
         let clean = rc.select(
             &chan(),
             PhyStandard::Dsss,
@@ -149,7 +152,9 @@ mod tests {
 
     #[test]
     fn receding_interferer_restores_the_rate() {
-        let rc = RateController::IdealSinr { margin: Db::new(3.0) };
+        let rc = RateController::IdealSinr {
+            margin: Db::new(3.0),
+        };
         let mut prev = Rate::Mbps1;
         for d in [15.0, 30.0, 60.0, 120.0, 400.0] {
             let r = rc.select(
@@ -195,7 +200,12 @@ impl Minstrel {
     pub fn new(standard: PhyStandard) -> Self {
         let rates = Rate::all(standard).to_vec();
         let n = rates.len();
-        Minstrel { rates, ewma: vec![1.0; n], since_sample: 0, sample_cursor: 0 }
+        Minstrel {
+            rates,
+            ewma: vec![1.0; n],
+            since_sample: 0,
+            sample_cursor: 0,
+        }
     }
 
     /// Expected throughput of rate index `i` (probability × bit rate).
@@ -207,7 +217,9 @@ impl Minstrel {
     fn best_index(&self) -> usize {
         (0..self.rates.len())
             .max_by(|&a, &b| {
-                self.throughput(a).partial_cmp(&self.throughput(b)).expect("finite")
+                self.throughput(a)
+                    .partial_cmp(&self.throughput(b))
+                    .expect("finite")
             })
             .expect("non-empty rate set")
     }
@@ -289,7 +301,7 @@ mod minstrel_tests {
             }
             // No feedback: distribution driven purely by the sampler.
         }
-        assert!(non_best >= 8 && non_best <= 15, "sampled {non_best} of 100");
+        assert!((8..=15).contains(&non_best), "sampled {non_best} of 100");
     }
 
     #[test]

@@ -65,9 +65,9 @@ impl Simulator {
             let proto = if features.any() {
                 let mut p = Protocol::new(id, cfg.protocol);
                 p.set_own_position(reported[i]);
-                for j in 0..n {
+                for (j, &pos) in reported.iter().enumerate() {
                     if j != i {
-                        p.on_position_report(NodeId(j), reported[j]);
+                        p.on_position_report(NodeId(j), pos);
                     }
                 }
                 Some(p)
@@ -89,7 +89,9 @@ impl Simulator {
                 preamble_cs: cfg.preamble_cs,
             };
             let mac_rng = StdRng::seed_from_u64(
-                cfg.seed.wrapping_mul(0x100_0000_01B3).wrapping_add(i as u64),
+                cfg.seed
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(i as u64),
             );
             let mut mac = Mac::new(mac_cfg, proto, mac_rng);
             for flow in cfg.flows_from(id) {
@@ -102,7 +104,13 @@ impl Simulator {
         for i in 0..n {
             queue.schedule(SimTime::ZERO, Event::TrafficWakeup { node: NodeId(i) });
             for (step, mv) in cfg.nodes[i].moves.iter().enumerate() {
-                queue.schedule(SimTime::ZERO + mv.at, Event::Mobility { node: NodeId(i), step });
+                queue.schedule(
+                    SimTime::ZERO + mv.at,
+                    Event::Mobility {
+                        node: NodeId(i),
+                        step,
+                    },
+                );
             }
         }
 
@@ -160,6 +168,7 @@ impl Simulator {
             }
         }
         self.report.duration = duration;
+        self.report.medium = self.medium.stats();
         (self.report, self.trace)
     }
 
@@ -175,7 +184,9 @@ impl Simulator {
         let mv = self.cfg.nodes[node.0].moves[step];
         self.medium.set_position(node, mv.to);
         // The mover's localization fix carries the configured error.
-        let fix = mv.to.with_error(self.cfg.position_error, &mut self.move_rng);
+        let fix = mv
+            .to
+            .with_error(self.cfg.position_error, &mut self.move_rng);
         let n = self.macs.len();
         for i in 0..n {
             if i != node.0 {
@@ -236,22 +247,36 @@ impl Simulator {
         match action {
             MacAction::ArmFlowTimer(at) => {
                 self.flow_gen[node.0] += 1;
-                self.queue.schedule(at, Event::FlowTimer { node, gen: self.flow_gen[node.0] });
+                self.queue.schedule(
+                    at,
+                    Event::FlowTimer {
+                        node,
+                        gen: self.flow_gen[node.0],
+                    },
+                );
             }
             MacAction::CancelFlowTimer => {
                 self.flow_gen[node.0] += 1;
             }
             MacAction::ArmResponderTimer(at) => {
                 self.resp_gen[node.0] += 1;
-                self.queue
-                    .schedule(at, Event::ResponderTimer { node, gen: self.resp_gen[node.0] });
+                self.queue.schedule(
+                    at,
+                    Event::ResponderTimer {
+                        node,
+                        gen: self.resp_gen[node.0],
+                    },
+                );
             }
             MacAction::ScheduleTraffic(at) => {
                 self.queue.schedule(at, Event::TrafficWakeup { node });
             }
             MacAction::Transmit(frame) => {
-                let duration =
-                    self.cfg.protocol.phy.frame_duration(frame.on_air_bytes(), frame.rate);
+                let duration = self
+                    .cfg
+                    .protocol
+                    .phy
+                    .frame_duration(frame.on_air_bytes(), frame.rate);
                 let end = self.now + duration;
                 let (tx, notes) = self.medium.begin(frame, self.now, end);
                 self.queue.schedule(end, Event::TxEnd(tx));
@@ -350,9 +375,15 @@ mod tests {
         let report = Simulator::new(cfg).run(SimDuration::from_millis(500));
         let ga = report.link_goodput_bps(a, ap);
         let gb = report.link_goodput_bps(b, ap);
-        assert!(ga > 1.5e6 && gb > 1.5e6, "both links must progress: {ga} / {gb}");
+        assert!(
+            ga > 1.5e6 && gb > 1.5e6,
+            "both links must progress: {ga} / {gb}"
+        );
         let ratio = ga / gb;
-        assert!(ratio > 0.6 && ratio < 1.67, "roughly fair sharing, ratio = {ratio}");
+        assert!(
+            ratio > 0.6 && ratio < 1.67,
+            "roughly fair sharing, ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -377,7 +408,10 @@ mod tests {
             "hidden terminal must hurt: {with_ht} vs clean {alone}"
         );
         let stats = report.links[&(c1, ap1)];
-        assert!(stats.ack_timeouts > 0, "collisions must show up as ACK timeouts");
+        assert!(
+            stats.ack_timeouts > 0,
+            "collisions must show up as ACK timeouts"
+        );
     }
 
     #[test]
@@ -440,8 +474,8 @@ mod tests {
         let mut plain_timeouts = 0;
         let mut rts_timeouts = 0;
         for seed in [21, 22, 23] {
-            let plain = Simulator::new(build(MacFeatures::DCF, seed))
-                .run(SimDuration::from_millis(800));
+            let plain =
+                Simulator::new(build(MacFeatures::DCF, seed)).run(SimDuration::from_millis(800));
             plain_timeouts += plain.links[&(NodeId(0), NodeId(1))].ack_timeouts;
             let rts = Simulator::new(build(MacFeatures::DCF_RTS_CTS, seed))
                 .run(SimDuration::from_millis(800));

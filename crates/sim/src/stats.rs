@@ -36,6 +36,21 @@ pub struct NodeStats {
     pub headers_heard: u64,
 }
 
+/// Counters kept by the radio medium itself — physical-layer outcomes
+/// that per-link MAC counters cannot see.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MediumStats {
+    /// Receiver locks stolen by preamble capture (a stronger frame
+    /// arrived mid-reception and was decodable over the locked one).
+    pub captures: u64,
+    /// Frames held to the end of their lock but killed by the accrued
+    /// bit-error hazard (collision / interference losses).
+    pub hazard_drops: u64,
+    /// Times the incremental power ledger was verified against a
+    /// from-scratch recomputation (debug builds only; 0 in release).
+    pub ledger_checks: u64,
+}
+
 /// Results of one simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SimReport {
@@ -50,6 +65,8 @@ pub struct SimReport {
     /// Position reports broadcast by moving nodes (the protocol's
     /// location-sharing overhead).
     pub position_reports: u64,
+    /// Physical-layer counters from the medium.
+    pub medium: MediumStats,
 }
 
 impl SimReport {
@@ -71,7 +88,12 @@ impl SimReport {
         if secs == 0.0 {
             return 0.0;
         }
-        self.links.values().map(|l| l.delivered_bytes as f64).sum::<f64>() * 8.0 / secs
+        self.links
+            .values()
+            .map(|l| l.delivered_bytes as f64)
+            .sum::<f64>()
+            * 8.0
+            / secs
     }
 
     /// Goodput of every link, ordered by `(src, dst)`.
@@ -108,7 +130,10 @@ mod tests {
 
     #[test]
     fn goodput_accounts_bits_per_second() {
-        let mut r = SimReport { duration: SimDuration::from_secs(2), ..Default::default() };
+        let mut r = SimReport {
+            duration: SimDuration::from_secs(2),
+            ..Default::default()
+        };
         r.link_mut(NodeId(0), NodeId(1)).delivered_bytes = 250_000;
         assert_eq!(r.link_goodput_bps(NodeId(0), NodeId(1)), 1_000_000.0);
         assert_eq!(r.link_goodput_bps(NodeId(1), NodeId(0)), 0.0);
@@ -124,7 +149,10 @@ mod tests {
 
     #[test]
     fn delivery_ratio() {
-        let mut r = SimReport { duration: SimDuration::from_secs(1), ..Default::default() };
+        let mut r = SimReport {
+            duration: SimDuration::from_secs(1),
+            ..Default::default()
+        };
         let l = r.link_mut(NodeId(0), NodeId(1));
         l.data_tx = 10;
         l.delivered_frames = 7;
@@ -134,7 +162,10 @@ mod tests {
 
     #[test]
     fn per_link_listing_is_ordered() {
-        let mut r = SimReport { duration: SimDuration::from_secs(1), ..Default::default() };
+        let mut r = SimReport {
+            duration: SimDuration::from_secs(1),
+            ..Default::default()
+        };
         r.link_mut(NodeId(2), NodeId(0)).delivered_bytes = 1;
         r.link_mut(NodeId(0), NodeId(1)).delivered_bytes = 1;
         let keys: Vec<_> = r.per_link_goodputs().into_iter().map(|(k, _)| k).collect();

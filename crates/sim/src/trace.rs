@@ -58,7 +58,10 @@ pub struct TraceLog {
 impl TraceLog {
     /// Creates a log; a disabled log drops everything pushed into it.
     pub fn new(enabled: bool) -> Self {
-        TraceLog { events: Vec::new(), enabled }
+        TraceLog {
+            events: Vec::new(),
+            enabled,
+        }
     }
 
     /// Records an event (no-op when disabled).
@@ -103,7 +106,10 @@ mod tests {
     fn enabled_log_records_in_order() {
         let mut log = TraceLog::new(true);
         log.push(SimTime::ZERO, TraceEvent::Defer { node: NodeId(1) });
-        log.push(SimTime::from_nanos(5), TraceEvent::TxEnd { node: NodeId(1) });
+        log.push(
+            SimTime::from_nanos(5),
+            TraceEvent::TxEnd { node: NodeId(1) },
+        );
         assert_eq!(log.events().len(), 2);
         assert!(log.to_string().contains("Defer"));
     }

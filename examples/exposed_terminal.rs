@@ -14,7 +14,10 @@ fn main() {
     let duration = SimDuration::from_secs(2);
 
     println!("ET testbed, C2 at {c2_position} m from AP1, {duration} of air time\n");
-    for (name, features) in [("basic DCF", MacFeatures::DCF), ("CO-MAP", MacFeatures::COMAP)] {
+    for (name, features) in [
+        ("basic DCF", MacFeatures::DCF),
+        ("CO-MAP", MacFeatures::COMAP),
+    ] {
         let (cfg, ids) = et_testbed(c2_position, features, 1);
         let report = Simulator::new(cfg).run(duration);
         let g1 = report.link_goodput_bps(ids.c1, ids.ap1);

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     proto.on_position_report("AP2", Position::new(49.0, 0.0));
 
     let census = proto.ht_census("AP1")?;
-    println!("Census of C1 → AP1: hidden = {:?}, contenders = {:?}", census.hidden, census.contenders);
+    println!(
+        "Census of C1 → AP1: hidden = {:?}, contenders = {:?}",
+        census.hidden, census.contenders
+    );
     let setting = proto.tx_setting("AP1")?;
     println!(
         "CO-MAP installs CW = {}, payload = {} B for this census\n",

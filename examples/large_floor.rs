@@ -13,7 +13,10 @@ fn main() {
     let duration = SimDuration::from_secs(1);
     let seeds = [1u64, 2];
     println!("Three co-channel APs, nine CBR clients, {duration} per run\n");
-    println!("{:>18} {:>12} {:>12} {:>12}", "variant", "p25 (Mbps)", "median", "aggregate");
+    println!(
+        "{:>18} {:>12} {:>12} {:>12}",
+        "variant", "p25 (Mbps)", "median", "aggregate"
+    );
 
     for (label, features, error) in [
         ("basic DCF", MacFeatures::DCF, 0.0),
@@ -24,8 +27,11 @@ fn main() {
         let mut per_link = Vec::new();
         let mut aggregate = 0.0;
         for topo in 0..3u64 {
-            let reports =
-                run_many(|seed| large_scale(topo, seed, features, error).0, &seeds, duration);
+            let reports = run_many(
+                |seed| large_scale(topo, seed, features, error).0,
+                &seeds,
+                duration,
+            );
             let (cfg, _) = large_scale(topo, 0, features, error);
             for flow in &cfg.flows {
                 let g = reports
@@ -35,8 +41,11 @@ fn main() {
                     / reports.len() as f64;
                 per_link.push(g);
             }
-            aggregate +=
-                reports.iter().map(|r| r.aggregate_goodput_bps()).sum::<f64>() / reports.len() as f64;
+            aggregate += reports
+                .iter()
+                .map(|r| r.aggregate_goodput_bps())
+                .sum::<f64>()
+                / reports.len() as f64;
         }
         let cdf = empirical_cdf(per_link);
         println!(

@@ -12,8 +12,14 @@ use comap::sim::{SimConfig, Simulator};
 
 fn main() {
     let windows = [
-        ("0–400 ms (contender at 10 m)", SimDuration::from_millis(395)),
-        ("0–1200 ms (leaves at 400 ms)", SimDuration::from_millis(1200)),
+        (
+            "0–400 ms (contender at 10 m)",
+            SimDuration::from_millis(395),
+        ),
+        (
+            "0–1200 ms (leaves at 400 ms)",
+            SimDuration::from_millis(1200),
+        ),
     ];
     println!("C1 and C2 share AP1; C2 walks 300 m away at t = 400 ms\n");
     for features in [MacFeatures::DCF, MacFeatures::COMAP] {

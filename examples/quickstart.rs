@@ -32,17 +32,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Neighbor table of C11 (paper Fig. 3):");
     println!("{:>6} {:>8} {:>8}", "node", "X (m)", "Y (m)");
     for (addr, entry) in c11.neighbors().iter() {
-        println!("{addr:>6} {:>8.1} {:>8.1}", entry.position.x, entry.position.y);
+        println!(
+            "{addr:>6} {:>8.1} {:>8.1}",
+            entry.position.x, entry.position.y
+        );
     }
 
     // The PRR table (paper Fig. 5): for each left-cell client sending to
     // AP0, the PRR of their link and of C11's own link to AP1 if both
     // transmit at once.
     println!("\nPRR table of C11 vs. link C11→AP1 (paper Fig. 5):");
-    println!("{:>6} {:>16} {:>16}", "node", "PRR of neighbor", "PRR of C11");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "node", "PRR of neighbor", "PRR of C11"
+    );
     for peer in ["C0", "C1", "C2"] {
         let d = c11.concurrency_decision((peer, "AP0"), "AP1")?;
-        println!("{peer:>6} {:>15.1}% {:>15.1}%", d.prr_ongoing * 100.0, d.prr_mine * 100.0);
+        println!(
+            "{peer:>6} {:>15.1}% {:>15.1}%",
+            d.prr_ongoing * 100.0,
+            d.prr_mine * 100.0
+        );
     }
 
     // Populate the co-occurrence map by consulting it, as the MAC would
@@ -53,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nCo-occurrence map of C11:");
     for (link, receivers) in c11.cooccurrence().iter() {
-        println!("  while {} → {} is on the air: may transmit to {receivers:?}", link.0, link.1);
+        println!(
+            "  while {} → {} is on the air: may transmit to {receivers:?}",
+            link.0, link.1
+        );
     }
     let (hits, misses) = c11.cooccurrence().stats();
     println!("  cache: {hits} hits, {misses} misses");

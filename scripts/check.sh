@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local / CI quality gate for the CO-MAP reproduction.
+#
+# Runs formatting, lints, and the tier-1 verification suite
+# (`cargo build --release && cargo test -q`). The workspace vendors all
+# dependencies under vendor/, so the whole script must work with no
+# network access — CARGO_NET_OFFLINE keeps cargo from ever trying the
+# registry, which in sandboxed CI would otherwise hang or fail.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "all checks passed"

@@ -23,8 +23,14 @@ fn census_classifies_the_menagerie() {
     let p = populated();
     let census = p.ht_census("myap").unwrap();
     assert!(census.hidden.contains(&"hidden"), "census = {census:?}");
-    assert!(census.contenders.contains(&"contender"), "census = {census:?}");
-    assert!(census.independent.contains(&"independent"), "census = {census:?}");
+    assert!(
+        census.contenders.contains(&"contender"),
+        "census = {census:?}"
+    );
+    assert!(
+        census.independent.contains(&"independent"),
+        "census = {census:?}"
+    );
 }
 
 #[test]
@@ -42,17 +48,23 @@ fn settings_react_to_the_census() {
 fn concurrency_pipeline_uses_and_fills_the_cache() {
     let mut p = populated();
     // A remote link is concurrent-safe.
-    let ok = p.concurrency_allowed(("independent", "far_src"), "myap").unwrap();
+    let ok = p
+        .concurrency_allowed(("independent", "far_src"), "myap")
+        .unwrap();
     assert!(ok, "remote cells must validate");
     let (h0, m0) = p.cooccurrence().stats();
     assert_eq!((h0, m0), (0, 1));
     // Second query is a cache hit.
-    let again = p.concurrency_allowed(("independent", "far_src"), "myap").unwrap();
+    let again = p
+        .concurrency_allowed(("independent", "far_src"), "myap")
+        .unwrap();
     assert!(again);
     assert_eq!(p.cooccurrence().stats(), (1, 1));
     // Failure feedback flips the verdict.
     p.record_concurrency_outcome(("independent", "far_src"), "myap", false);
-    assert!(!p.concurrency_allowed(("independent", "far_src"), "myap").unwrap());
+    assert!(!p
+        .concurrency_allowed(("independent", "far_src"), "myap")
+        .unwrap());
 }
 
 #[test]
@@ -68,7 +80,9 @@ fn errors_surface_for_unknown_nodes() {
 #[test]
 fn mobility_threshold_gates_cache_invalidation() {
     let mut p = populated();
-    let _ = p.concurrency_allowed(("independent", "far_src"), "myap").unwrap();
+    let _ = p
+        .concurrency_allowed(("independent", "far_src"), "myap")
+        .unwrap();
     assert_eq!(p.cooccurrence().len(), 1);
     // Sub-threshold jiggle keeps the cache.
     assert!(!p.on_position_report("independent", Position::new(121.0, 0.0)));
@@ -83,6 +97,12 @@ fn scheduler_is_derivable_from_config() {
     let p = populated();
     let sched = p.arm_scheduler(comap::radio::units::Dbm::new(-70.0));
     use comap::core::EtAction;
-    assert_eq!(sched.on_rssi(comap::radio::units::Dbm::new(-70.0)), EtAction::Continue);
-    assert_eq!(sched.on_rssi(comap::radio::units::Dbm::new(-60.0)), EtAction::Abandon);
+    assert_eq!(
+        sched.on_rssi(comap::radio::units::Dbm::new(-70.0)),
+        EtAction::Continue
+    );
+    assert_eq!(
+        sched.on_rssi(comap::radio::units::Dbm::new(-60.0)),
+        EtAction::Abandon
+    );
 }

@@ -21,7 +21,9 @@ fn exposed_region_comap_beats_dcf() {
         mean(
             |seed| {
                 let (cfg, ids) = et_testbed(26.0, features, seed);
-                Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+                Simulator::new(cfg)
+                    .run(DUR)
+                    .link_goodput_bps(ids.c1, ids.ap1)
             },
             &[1, 2, 3],
         )
@@ -41,7 +43,9 @@ fn outside_the_exposed_region_comap_does_not_lose() {
         mean(
             |seed| {
                 let (cfg, ids) = et_testbed(12.0, features, seed);
-                Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+                Simulator::new(cfg)
+                    .run(DUR)
+                    .link_goodput_bps(ids.c1, ids.ap1)
             },
             &[1, 2, 3],
         )
@@ -56,7 +60,8 @@ fn both_links_gain_under_comap() {
     let comap = Simulator::new(cfg).run(DUR);
     let (cfg, _) = et_testbed(28.0, MacFeatures::DCF, 1);
     let dcf = Simulator::new(cfg).run(DUR);
-    let sum_comap = comap.link_goodput_bps(ids.c1, ids.ap1) + comap.link_goodput_bps(ids.c2, ids.ap2);
+    let sum_comap =
+        comap.link_goodput_bps(ids.c1, ids.ap1) + comap.link_goodput_bps(ids.c2, ids.ap2);
     let sum_dcf = dcf.link_goodput_bps(ids.c1, ids.ap1) + dcf.link_goodput_bps(ids.c2, ids.ap2);
     assert!(sum_comap > 1.15 * sum_dcf, "{sum_comap:.0} vs {sum_dcf:.0}");
 }
@@ -68,14 +73,19 @@ fn hidden_terminals_hurt_and_scale() {
         mean(
             |seed| {
                 let (cfg, ids) = ht_testbed(1000, n_ht, MacFeatures::DCF, seed);
-                Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+                Simulator::new(cfg)
+                    .run(DUR)
+                    .link_goodput_bps(ids.c1, ids.ap1)
             },
             &[1, 2, 3],
         )
     };
     let (g0, g1, g3) = (g(0), g(1), g(3));
     assert!(g1 < 0.85 * g0, "one HT must hurt: {g1:.0} vs {g0:.0}");
-    assert!(g3 < 0.6 * g1, "three HTs must hurt much more: {g3:.0} vs {g1:.0}");
+    assert!(
+        g3 < 0.6 * g1,
+        "three HTs must hurt much more: {g3:.0} vs {g1:.0}"
+    );
 }
 
 #[test]
@@ -87,7 +97,9 @@ fn ht_penalty_grows_with_payload() {
             mean(
                 |seed| {
                     let (cfg, ids) = ht_testbed(payload, n_ht, MacFeatures::DCF, seed);
-                    Simulator::new(cfg).run(DUR).link_goodput_bps(ids.c1, ids.ap1)
+                    Simulator::new(cfg)
+                        .run(DUR)
+                        .link_goodput_bps(ids.c1, ids.ap1)
                 },
                 &[1, 2],
             )
@@ -146,7 +158,10 @@ fn validation_cell_matches_model_without_hts() {
         hidden_profile: None,
     });
     let err = (sim - model).abs() / model;
-    assert!(err < 0.34, "model {model:.0} vs sim {sim:.0} ({err:.2} rel err)");
+    assert!(
+        err < 0.34,
+        "model {model:.0} vs sim {sim:.0} ({err:.2} rel err)"
+    );
 }
 
 #[test]

@@ -1,0 +1,215 @@
+//! Offline mini-criterion.
+//!
+//! The build environment has no crates.io access, so this crate vendors
+//! the small slice of the Criterion 0.5 API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and
+//! the `criterion_group!`/`criterion_main!` macros. It measures real
+//! wall-clock time (warm-up, then `sample_size` samples of adaptively
+//! sized batches) and prints mean ± spread per benchmark. There are no
+//! HTML reports, no statistics beyond min/mean/max, and no saved
+//! baselines — for before/after comparisons, capture the printed output.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported from the standard library.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver: holds the measurement configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark (minimum 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+            },
+        };
+        f(&mut b);
+        let iters_per_sec = match b.mode {
+            Mode::WarmUp { .. } => {
+                // The closure never called iter(): nothing to measure.
+                println!("{id:<40} (no iterations)");
+                return self;
+            }
+            Mode::Calibrated { iters_per_sec } => iters_per_sec.max(1.0),
+            Mode::Measure { .. } => unreachable!("warm-up never yields a measuring bencher"),
+        };
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((iters_per_sec * per_sample).round() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure {
+                    iters: batch,
+                    elapsed: Duration::ZERO,
+                },
+            };
+            f(&mut b);
+            if let Mode::Measure { elapsed, .. } = b.mode {
+                samples.push(elapsed.as_secs_f64() / batch as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]  ({batch} iters/sample, {} samples)",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            samples.len(),
+        );
+        self
+    }
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Calibrated { iters_per_sec: f64 },
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to time.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `routine`. During warm-up it runs until the warm-up budget
+    /// is spent (calibrating the batch size); during measurement it runs
+    /// the configured batch and records the elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match &mut self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                let until = *until;
+                let mut count: u64 = 0;
+                loop {
+                    black_box(routine());
+                    count += 1;
+                    if Instant::now() >= until {
+                        break;
+                    }
+                }
+                let secs = start.elapsed().as_secs_f64().max(1e-9);
+                self.mode = Mode::Calibrated {
+                    iters_per_sec: count as f64 / secs,
+                };
+            }
+            Mode::Calibrated { .. } => {}
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                *elapsed += start.elapsed();
+            }
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a group of benchmarks, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything at runtime (reports are rendered by hand in
+//! `comap-experiments`), and the build environment has no crates.io
+//! access. This crate keeps the derive annotations compiling: the traits
+//! are blanket-implemented markers and the derive macros expand to
+//! nothing. If real serialization is ever needed, swap this path
+//! dependency back to upstream `serde` — the annotations are already in
+//! place.
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented so any
+/// `T: Serialize` bound is satisfiable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`; blanket-implemented
+/// so any `T: Deserialize<'de>` bound is satisfiable.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    //! Deserialization marker traits.
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization marker traits.
+    pub use super::Serialize;
+}

@@ -1,0 +1,19 @@
+//! Inert derive macros for the offline `serde` stand-in.
+//!
+//! The sibling `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to generate — they accept the input (including
+//! `#[serde(...)]` attributes) and expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
