@@ -54,4 +54,5 @@ fn main() {
             );
         }
     }
+    comap_experiments::instrument::run_if_requested("ablation");
 }

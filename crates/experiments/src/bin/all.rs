@@ -16,6 +16,7 @@ fn main() {
         println!("\n########## {name} ##########");
         f(quick);
     }
+    comap_experiments::instrument::run_if_requested("all");
 }
 
 fn run_table1(_quick: bool) {

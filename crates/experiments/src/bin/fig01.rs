@@ -23,4 +23,5 @@ fn main() {
         mbps(fig.exposed_region_mean()),
         mbps(fig.far_end())
     );
+    comap_experiments::instrument::run_if_requested("fig01");
 }

@@ -29,4 +29,5 @@ fn main() {
         fig.best_payload_with_ht(),
         fig.best_payload_with_three_hts()
     );
+    comap_experiments::instrument::run_if_requested("fig02");
 }

@@ -37,4 +37,5 @@ fn main() {
         "mean relative model-vs-sim error: {:.1}%",
         fig.mean_relative_error() * 100.0
     );
+    comap_experiments::instrument::run_if_requested("fig07");
 }

@@ -30,4 +30,5 @@ fn main() {
         fig.exposed_region_gain() * 100.0,
         fig.exposed_region_aggregate_gain() * 100.0
     );
+    comap_experiments::instrument::run_if_requested("fig08");
 }

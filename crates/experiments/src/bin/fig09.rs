@@ -21,4 +21,5 @@ fn main() {
         mbps(c.quantile(0.5)),
         fig.mean_gain() * 100.0
     );
+    comap_experiments::instrument::run_if_requested("fig09");
 }

@@ -36,4 +36,5 @@ fn main() {
     println!(
         "paper: CO-MAP(perfect) = 1.385x aggregated goodput (+38.5%); with position error the gain shrinks but stays positive"
     );
+    comap_experiments::instrument::run_if_requested("fig10");
 }

@@ -1,0 +1,47 @@
+//! CI helper: validates a `--profile-json` artifact.
+//!
+//! Usage: `profile_check <profile.json>`. Parses the file, checks the
+//! invariants every healthy run profile satisfies (events processed,
+//! positive throughput, per-type counts summing to the total, a
+//! non-empty queue at some point) and prints the summary. Exits
+//! non-zero on any violation so the CI smoke run fails loudly.
+
+use comap_sim::{Json, RunProfile};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: profile_check <profile.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+    let profile =
+        RunProfile::from_json(&json).unwrap_or_else(|| fail(&format!("{path}: not a run profile")));
+
+    check(profile.events > 0, "no events were processed");
+    check(
+        profile.events_per_sec() > 0.0,
+        "events/sec must be positive",
+    );
+    check(profile.queue_peak > 0, "event queue was never non-empty");
+    let by_type: u64 = profile.by_type.iter().map(|t| t.count).sum();
+    check(
+        by_type == profile.events,
+        "per-type counts do not sum to the total",
+    );
+    check(profile.sim_nanos > 0, "no simulated time elapsed");
+
+    print!("{}", profile.summary());
+    println!("profile OK: {path}");
+}
+
+fn check(ok: bool, what: &str) {
+    if !ok {
+        fail(what);
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("profile_check: {msg}");
+    std::process::exit(1);
+}

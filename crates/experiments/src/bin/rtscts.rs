@@ -72,4 +72,5 @@ fn main() {
         "RTS/CTS removes hidden-terminal collisions but serializes the exposed pair;\n\
          CO-MAP keeps the collision protection *and* the concurrency."
     );
+    comap_experiments::instrument::run_if_requested("rtscts");
 }

@@ -2,4 +2,5 @@
 
 fn main() {
     comap_experiments::table1::build().print();
+    comap_experiments::instrument::run_if_requested("table1");
 }

@@ -1,0 +1,230 @@
+//! Shared instrumentation plumbing for the experiment binaries.
+//!
+//! Every binary accepts three optional flags on top of its own
+//! arguments:
+//!
+//! * `--trace=<path>` — run one representative simulation of the
+//!   experiment's topology with a [`JsonlSink`] attached and write the
+//!   full event stream to `<path>` as JSON Lines.
+//! * `--metrics` — attach a [`MetricsSink`] to the same run and print a
+//!   per-node summary (airtime utilization, queue depths, backoff
+//!   stages, SINR) after the experiment's own output.
+//! * `--profile-json=<path>` — profile the event loop of the same run
+//!   and write the [`RunProfile`] JSON to `<path>`.
+//!
+//! The instrumented run is *additional* to the experiment itself: the
+//! figures average over many seeds and attach no sinks, so their numbers
+//! stay untouched, while the flags give a deep view into one
+//! representative seed of the same topology.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use comap_mac::time::SimDuration;
+use comap_sim::config::{MacFeatures, SimConfig};
+use comap_sim::{JsonlSink, MetricsSink, Simulator};
+
+use crate::topology;
+
+/// Instrumentation requests parsed from the command line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Instrumentation {
+    /// Write the event stream of the representative run here as JSONL.
+    pub trace: Option<PathBuf>,
+    /// Print the metrics summary of the representative run.
+    pub metrics: bool,
+    /// Write the event-loop profile of the representative run here.
+    pub profile_json: Option<PathBuf>,
+}
+
+impl Instrumentation {
+    /// Parses the process arguments, exiting with a message on a
+    /// malformed flag (a path-taking flag with no value).
+    pub fn from_args() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(inst) => inst,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                exit(2);
+            }
+        }
+    }
+
+    /// `true` when any instrumentation flag was given.
+    pub fn any(&self) -> bool {
+        self.trace.is_some() || self.metrics || self.profile_json.is_some()
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut inst = Instrumentation::default();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            i += 1;
+            if let Some(v) = arg.strip_prefix("--trace=") {
+                inst.trace = Some(PathBuf::from(v));
+            } else if arg == "--trace" {
+                let v = args.get(i).ok_or("--trace requires a path")?;
+                i += 1;
+                inst.trace = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--profile-json=") {
+                inst.profile_json = Some(PathBuf::from(v));
+            } else if arg == "--profile-json" {
+                let v = args.get(i).ok_or("--profile-json requires a path")?;
+                i += 1;
+                inst.profile_json = Some(PathBuf::from(v));
+            } else if arg == "--metrics" {
+                inst.metrics = true;
+            }
+            // Anything else belongs to the experiment (e.g. --quick).
+        }
+        Ok(inst)
+    }
+
+    /// Runs one instrumented simulation of `cfg` for `duration`,
+    /// honouring every requested flag. Exits with a message when an
+    /// output file cannot be created.
+    pub fn run(&self, name: &str, cfg: SimConfig, duration: SimDuration) {
+        let mut sim = Simulator::new(cfg);
+        if let Some(path) = &self.trace {
+            match JsonlSink::create(path) {
+                Ok(sink) => sim.attach_sink(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {}: {e}", path.display());
+                    exit(1);
+                }
+            }
+        }
+        if self.metrics {
+            sim.attach_sink(Box::new(MetricsSink::new()));
+        }
+
+        println!(
+            "\n== instrumentation: one representative {name} run ({} ms) ==",
+            duration.as_nanos() / 1_000_000
+        );
+        let report = if let Some(path) = &self.profile_json {
+            let (report, profile) = sim.run_profiled(duration);
+            let text = profile.to_json().to_string_compact();
+            if let Err(e) = std::fs::write(path, text + "\n") {
+                eprintln!("error: cannot write profile {}: {e}", path.display());
+                exit(1);
+            }
+            print!("{}", profile.summary());
+            println!("profile written to {}", path.display());
+            report
+        } else {
+            sim.run(duration)
+        };
+
+        if let Some(path) = &self.trace {
+            println!("event trace written to {}", path.display());
+        }
+        if self.metrics {
+            let metrics = report.metrics.as_ref().expect("MetricsSink was attached");
+            let total_ns = duration.as_nanos() as f64;
+            for (node, m) in &metrics.nodes {
+                let busy: u64 = m.airtime_busy_ns.iter().sum();
+                let draws: u64 = m.backoff_stage.iter().sum();
+                let sinr = m
+                    .sinr
+                    .mean()
+                    .map(|s| format!("{s:.1} dB over {} rx", m.sinr.count))
+                    .unwrap_or_else(|| "n/a".to_string());
+                println!(
+                    "node {:>2}: airtime {:5.1}%  queue peak {} (mean {:.2})  \
+                     {draws} backoff draws  SINR mean {sinr}",
+                    node.0,
+                    100.0 * busy as f64 / total_ns,
+                    m.queue_depth_peak,
+                    m.mean_queue_depth().unwrap_or(0.0),
+                );
+            }
+        }
+    }
+}
+
+/// A representative configuration of the named experiment: the
+/// topology one seed of that figure would run, paired with a duration
+/// long enough to exercise every code path yet short enough for CI.
+pub fn representative(name: &str) -> (SimConfig, SimDuration) {
+    let duration = SimDuration::from_millis(400);
+    let cfg = match name {
+        "fig02" => topology::ht_testbed(1000, 1, MacFeatures::COMAP, 1).0,
+        "fig07" => topology::validation_cell(5, 3, 255, 1000, 1).0,
+        "fig09" => topology::fig9_topology(0, MacFeatures::COMAP, 1).0,
+        "fig10" | "table1" => topology::large_scale(1, 1, MacFeatures::COMAP, 0.0).0,
+        // ablation, all, fig01, fig08, rtscts: the ET testbed is their
+        // common ground (C2 in the exposed region).
+        _ => topology::et_testbed(26.0, MacFeatures::COMAP, 1).0,
+    };
+    (cfg, duration)
+}
+
+/// One-liner for experiment binaries: parses the instrumentation flags
+/// and, when any is present, runs one instrumented representative
+/// simulation of the named experiment after the figure's own output.
+pub fn run_if_requested(name: &str) {
+    let inst = Instrumentation::from_args();
+    if !inst.any() {
+        return;
+    }
+    let (cfg, duration) = representative(name);
+    inst.run(name, cfg, duration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Instrumentation {
+        Instrumentation::parse(args.iter().map(|s| s.to_string())).expect("valid args")
+    }
+
+    #[test]
+    fn parses_all_flag_forms() {
+        let inst = parse(&[
+            "--trace=/tmp/a.jsonl",
+            "--metrics",
+            "--profile-json",
+            "/tmp/p.json",
+        ]);
+        assert_eq!(inst.trace, Some(PathBuf::from("/tmp/a.jsonl")));
+        assert!(inst.metrics);
+        assert_eq!(inst.profile_json, Some(PathBuf::from("/tmp/p.json")));
+        assert!(inst.any());
+    }
+
+    #[test]
+    fn ignores_experiment_args() {
+        let inst = parse(&["--quick", "-q", "somefile"]);
+        assert_eq!(inst, Instrumentation::default());
+        assert!(!inst.any());
+    }
+
+    #[test]
+    fn separated_value_form() {
+        let inst = parse(&["--trace", "t.jsonl"]);
+        assert_eq!(inst.trace, Some(PathBuf::from("t.jsonl")));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Instrumentation::parse(["--profile-json".to_string()].into_iter());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn every_experiment_has_a_representative() {
+        for name in [
+            "ablation", "all", "fig01", "fig02", "fig07", "fig08", "fig09", "fig10", "rtscts",
+            "table1",
+        ] {
+            let (cfg, d) = representative(name);
+            assert!(!cfg.nodes.is_empty(), "{name} has nodes");
+            assert!(!cfg.flows.is_empty(), "{name} has flows");
+            assert!(d.as_nanos() > 0);
+        }
+    }
+}

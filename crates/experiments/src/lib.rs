@@ -19,6 +19,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod instrument;
 pub mod report;
 pub mod runner;
 pub mod table1;

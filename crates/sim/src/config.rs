@@ -195,8 +195,6 @@ pub struct SimConfig {
     /// instead of a separate header packet, costing 4 bytes instead of
     /// a whole frame. Used by the NS-2-style large-scale experiments.
     pub inband_header: bool,
-    /// Record a trace of MAC/PHY events (timeline example).
-    pub trace: bool,
     /// Nodes, indexed by [`NodeId`].
     pub nodes: Vec<NodeSpec>,
     /// Traffic matrix.
@@ -228,7 +226,6 @@ impl SimConfig {
             capture: true,
             preamble_cs: true,
             inband_header: false,
-            trace: false,
             nodes: Vec::new(),
             flows: Vec::new(),
         }

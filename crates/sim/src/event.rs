@@ -45,6 +45,31 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// Number of event kinds (size of the profiler's accounting arrays).
+    pub const KIND_COUNT: usize = 5;
+
+    /// Stable names per kind, indexed by [`Event::kind_index`].
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "tx_end",
+        "flow_timer",
+        "responder_timer",
+        "traffic_wakeup",
+        "mobility",
+    ];
+
+    /// Dense index of this event's kind, for profiling counters.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::TxEnd(_) => 0,
+            Event::FlowTimer { .. } => 1,
+            Event::ResponderTimer { .. } => 2,
+            Event::TrafficWakeup { .. } => 3,
+            Event::Mobility { .. } => 4,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Scheduled {
     time: SimTime,

@@ -31,6 +31,16 @@
 //! seed-derived RNG streams make every run bit-reproducible; see
 //! `tests/determinism.rs`.
 //!
+//! ## Observability
+//!
+//! Attach [`observe::Observer`] sinks via [`Simulator::attach_sink`] to
+//! receive typed, timestamped [`observe::SimEvent`]s from the medium,
+//! the MAC and the CO-MAP logic — a JSONL exporter, an in-memory
+//! metrics aggregator and a human-readable timeline ship with the
+//! crate, and [`Simulator::run_profiled`] times the event loop itself.
+//! With no sink attached no event is ever constructed, and sinks can
+//! never perturb results (see `tests/observability.rs`).
+//!
 //! # Example
 //!
 //! Two nodes, one saturated link, one second of air time:
@@ -55,16 +65,22 @@
 pub mod config;
 pub mod event;
 pub mod frame;
+pub mod json;
 pub mod mac;
 pub mod medium;
+pub mod metrics;
+pub mod observe;
+pub mod profile;
 pub mod rate;
 pub mod sim;
 pub mod stats;
-pub mod trace;
 
 pub use config::{MacFeatures, NodeSpec, SimConfig, Traffic};
 pub use frame::{Frame, NodeId};
+pub use json::Json;
+pub use metrics::{Metrics, MetricsSink};
+pub use observe::{JsonlSink, NoopSink, Observer, SimEvent, TimelineHandle, TimelineSink};
+pub use profile::RunProfile;
 pub use rate::RateController;
 pub use sim::Simulator;
 pub use stats::SimReport;
-pub use trace::{TraceEvent, TraceLog};

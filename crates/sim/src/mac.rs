@@ -35,8 +35,8 @@ use comap_radio::Position;
 
 use crate::config::{MacFeatures, Traffic};
 use crate::frame::{Frame, FrameBody, NodeId};
+use crate::observe::SimEvent;
 use crate::rate::{Minstrel, RateController};
-use crate::trace::TraceEvent;
 
 /// Snapshot of the node's radio environment, passed with every event.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +50,9 @@ pub struct MacCtx {
     /// Whether this node's receiver is locked onto a decodable frame
     /// (preamble carrier sense).
     pub locked: bool,
+    /// Whether an observer is attached — gates every
+    /// [`MacAction::Emit`] so an unobserved run constructs no events.
+    pub observing: bool,
 }
 
 /// Events delivered to the MAC.
@@ -101,8 +104,9 @@ pub enum MacAction {
     Transmit(Frame),
     /// A statistics event for the simulator to account.
     Stat(StatEvent),
-    /// A trace event.
-    Trace(TraceEvent),
+    /// An instrumentation event for the attached observers (only ever
+    /// produced when [`MacCtx::observing`] is set).
+    Emit(SimEvent),
 }
 
 /// Statistics notifications.
@@ -421,6 +425,13 @@ impl Mac {
             }
             MacEvent::Announce { link, data_end } => {
                 out.push(MacAction::Stat(StatEvent::HeaderHeard));
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::HeaderHeard {
+                        node: self.cfg.id,
+                        src: link.0,
+                        dst: link.1,
+                    }));
+                }
                 if self.cfg.features.et_concurrency {
                     // Unlike a separate header, the in-band announcement
                     // arrives once the data frame is already on the air.
@@ -459,9 +470,11 @@ impl Mac {
                         if sched.on_rssi(ctx.sensed.to_dbm()) == EtAction::Abandon {
                             self.opportunity = None;
                             out.push(MacAction::Stat(StatEvent::EtAbandon));
-                            out.push(MacAction::Trace(TraceEvent::EtAbandon {
-                                node: self.cfg.id,
-                            }));
+                            if ctx.observing {
+                                out.push(MacAction::Emit(SimEvent::EtAbandon {
+                                    node: self.cfg.id,
+                                }));
+                            }
                         }
                     }
                 }
@@ -474,6 +487,13 @@ impl Mac {
         match frame.body {
             FrameBody::Discovery { data_duration } => {
                 out.push(MacAction::Stat(StatEvent::HeaderHeard));
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::HeaderHeard {
+                        node: self.cfg.id,
+                        src: frame.src,
+                        dst: frame.dst,
+                    }));
+                }
                 self.consider_opportunity(frame, data_duration, rssi, ctx, out);
             }
             FrameBody::Data {
@@ -504,10 +524,13 @@ impl Mac {
                         src: frame.src,
                         bytes: payload_bytes,
                     }));
-                    out.push(MacAction::Trace(TraceEvent::Delivered {
-                        node: self.cfg.id,
-                        from: frame.src,
-                    }));
+                    if ctx.observing {
+                        out.push(MacAction::Emit(SimEvent::Delivered {
+                            node: self.cfg.id,
+                            from: frame.src,
+                            bytes: payload_bytes,
+                        }));
+                    }
                 }
                 self.pending_ack = Some((frame.src, ack_body));
                 out.push(MacAction::ArmResponderTimer(ctx.now + self.cfg.phy.sifs()));
@@ -541,11 +564,6 @@ impl Mac {
                             self.state = FlowState::TxData;
                             let data = self.data_frame(p, ctx);
                             out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
-                            out.push(MacAction::Trace(TraceEvent::TxStart {
-                                node: self.cfg.id,
-                                dst: p.dst,
-                                what: "DATA",
-                            }));
                             out.push(MacAction::Transmit(data));
                         }
                     }
@@ -573,7 +591,7 @@ impl Mac {
         from: NodeId,
         seq: u64,
         sr: Option<Ack>,
-        _ctx: MacCtx,
+        ctx: MacCtx,
         out: &mut Vec<MacAction>,
     ) {
         if self.state == FlowState::WaitAck {
@@ -598,7 +616,14 @@ impl Mac {
             if let (Some(window), Some(sr)) = (self.arq_tx.get_mut(&from), sr) {
                 // Goodput is accounted at the receiver; the window only
                 // needs the ACK to slide.
-                let _ = window.on_ack(sr);
+                let acked = window.on_ack(sr);
+                if ctx.observing && acked > 0 {
+                    out.push(MacAction::Emit(SimEvent::Dequeue {
+                        node: self.cfg.id,
+                        dst: from,
+                        depth: window.outstanding() as u32,
+                    }));
+                }
             }
             if self.state == FlowState::WaitAck && self.pending.map(|p| p.dst) == Some(from) {
                 self.state = FlowState::Idle;
@@ -613,13 +638,19 @@ impl Mac {
                     self.pending = None;
                     self.retries = 0;
                     out.push(MacAction::CancelFlowTimer);
+                    if ctx.observing {
+                        out.push(MacAction::Emit(SimEvent::Dequeue {
+                            node: self.cfg.id,
+                            dst: from,
+                            depth: 0,
+                        }));
+                    }
                 }
             }
         }
     }
 
     fn on_tx_done(&mut self, frame: Frame, ctx: MacCtx, out: &mut Vec<MacAction>) {
-        out.push(MacAction::Trace(TraceEvent::TxEnd { node: self.cfg.id }));
         match frame.kind() {
             FrameKind::DiscoveryHeader => {
                 // Data follows back-to-back.
@@ -627,11 +658,6 @@ impl Mac {
                     self.state = FlowState::TxData;
                     let data = self.data_frame(p, ctx);
                     out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
-                    out.push(MacAction::Trace(TraceEvent::TxStart {
-                        node: self.cfg.id,
-                        dst: p.dst,
-                        what: "DATA",
-                    }));
                     out.push(MacAction::Transmit(data));
                 } else {
                     self.state = FlowState::Idle;
@@ -671,6 +697,9 @@ impl Mac {
                         self.start_transmission(ctx, out);
                     } else {
                         self.wait = WaitPhase::Counting(ctx.now);
+                        if ctx.observing {
+                            out.push(MacAction::Emit(SimEvent::Resume { node: self.cfg.id }));
+                        }
                         out.push(MacAction::ArmFlowTimer(
                             ctx.now
                                 + self.cfg.phy.slot() * u64::from(self.backoff.slots_remaining()),
@@ -699,12 +728,18 @@ impl Mac {
         }
     }
 
-    fn on_ack_timeout(&mut self, _ctx: MacCtx, out: &mut Vec<MacAction>) {
+    fn on_ack_timeout(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
         let Some(p) = self.pending else {
             self.state = FlowState::Idle;
             return;
         };
         out.push(MacAction::Stat(StatEvent::AckTimeout { dst: p.dst }));
+        if ctx.observing {
+            out.push(MacAction::Emit(SimEvent::AckTimeout {
+                node: self.cfg.id,
+                dst: p.dst,
+            }));
+        }
         if let Some(rate) = self.last_data_rate {
             if let Some(m) = self.minstrel.get_mut(&p.dst) {
                 m.report(rate, false);
@@ -727,6 +762,17 @@ impl Mac {
             self.retries += 1;
             if self.retries > self.cfg.retry_limit {
                 out.push(MacAction::Stat(StatEvent::Drop { dst: p.dst }));
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::Drop {
+                        node: self.cfg.id,
+                        dst: p.dst,
+                    }));
+                    out.push(MacAction::Emit(SimEvent::Dequeue {
+                        node: self.cfg.id,
+                        dst: p.dst,
+                        depth: 0,
+                    }));
+                }
                 self.pending = None;
                 self.retries = 0;
                 self.state = FlowState::Idle;
@@ -734,6 +780,18 @@ impl Mac {
                 self.pending = Some(PendingFrame { retry: true, ..p });
                 self.backoff =
                     Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::Retry {
+                        node: self.cfg.id,
+                        dst: p.dst,
+                        attempt: self.retries,
+                    }));
+                    out.push(MacAction::Emit(SimEvent::BackoffDraw {
+                        node: self.cfg.id,
+                        stage: self.retries,
+                        slots: self.backoff.slots_remaining(),
+                    }));
+                }
                 self.state = FlowState::Contend;
                 self.wait = WaitPhase::NeedIdle;
             }
@@ -754,11 +812,6 @@ impl Mac {
             body,
             rate: self.cfg.phy.control_rate(),
         };
-        out.push(MacAction::Trace(TraceEvent::TxStart {
-            node: self.cfg.id,
-            dst: to,
-            what: "ACK",
-        }));
         out.push(MacAction::Transmit(ack));
     }
 
@@ -810,7 +863,9 @@ impl Mac {
                     self.backoff.consume(slots);
                     self.wait = WaitPhase::NeedIdle;
                     out.push(MacAction::CancelFlowTimer);
-                    out.push(MacAction::Trace(TraceEvent::Defer { node: self.cfg.id }));
+                    if ctx.observing {
+                        out.push(MacAction::Emit(SimEvent::Defer { node: self.cfg.id }));
+                    }
                 }
             }
         }
@@ -818,6 +873,9 @@ impl Mac {
 
     fn begin_counting(&mut self, ctx: MacCtx, out: &mut Vec<MacAction>) {
         self.wait = WaitPhase::Counting(ctx.now);
+        if ctx.observing {
+            out.push(MacAction::Emit(SimEvent::Resume { node: self.cfg.id }));
+        }
         out.push(MacAction::ArmFlowTimer(
             ctx.now + self.cfg.phy.slot() * u64::from(self.backoff.slots_remaining()),
         ));
@@ -843,6 +901,13 @@ impl Mac {
                 let escalation = self.sr_retries.get(&p.dst).copied().unwrap_or(0);
                 self.backoff =
                     Backoff::draw(self.effective_policy(p.dst), escalation, &mut self.rng);
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::BackoffDraw {
+                        node: self.cfg.id,
+                        stage: escalation,
+                        slots: self.backoff.slots_remaining(),
+                    }));
+                }
                 self.state = FlowState::Contend;
                 self.wait = WaitPhase::NeedIdle;
                 self.try_enter_opportunity(ctx, out);
@@ -854,7 +919,7 @@ impl Mac {
             let dsts: Vec<NodeId> = self.flows.iter().map(|f| f.dst).collect();
             let mut min_eta: Option<SimDuration> = None;
             for (i, dst) in dsts.into_iter().enumerate() {
-                let payload = self.payload_for(dst);
+                let payload = self.payload_for(dst, ctx.observing, out);
                 if let Some(eta) = self.flows[i].traffic.eta(payload) {
                     min_eta = Some(min_eta.map_or(eta, |m: SimDuration| m.min(eta)));
                 }
@@ -874,8 +939,9 @@ impl Mac {
         ctx: MacCtx,
         out: &mut Vec<MacAction>,
     ) -> Option<PendingFrame> {
-        let payload = self.payload_for(self.flows[idx].dst);
+        let payload = self.payload_for(self.flows[idx].dst, ctx.observing, out);
         let dst = self.flows[idx].dst;
+        let node = self.cfg.id;
         let flow = &mut self.flows[idx];
         flow.traffic.refresh(ctx.now);
 
@@ -888,6 +954,13 @@ impl Mac {
             while window.has_room() && flow.traffic.available() >= f64::from(payload) {
                 flow.traffic.take(payload);
                 window.enqueue(payload);
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::Enqueue {
+                        node,
+                        dst,
+                        depth: window.outstanding() as u32,
+                    }));
+                }
             }
             loop {
                 let seq = window.next_to_send()?;
@@ -895,9 +968,24 @@ impl Mac {
                 if attempts > self.cfg.retry_limit {
                     window.abandon(seq);
                     out.push(MacAction::Stat(StatEvent::Drop { dst }));
+                    if ctx.observing {
+                        out.push(MacAction::Emit(SimEvent::Drop { node, dst }));
+                        out.push(MacAction::Emit(SimEvent::Dequeue {
+                            node,
+                            dst,
+                            depth: window.outstanding() as u32,
+                        }));
+                    }
                     continue;
                 }
                 let payload = window.payload_of(seq).unwrap_or(payload);
+                if ctx.observing && attempts > 0 {
+                    out.push(MacAction::Emit(SimEvent::Retry {
+                        node,
+                        dst,
+                        attempt: attempts,
+                    }));
+                }
                 return Some(PendingFrame {
                     dst,
                     seq,
@@ -910,6 +998,13 @@ impl Mac {
                 flow.traffic.take(payload);
                 let seq = flow.next_seq;
                 flow.next_seq += 1;
+                if ctx.observing {
+                    out.push(MacAction::Emit(SimEvent::Enqueue {
+                        node,
+                        dst,
+                        depth: 1,
+                    }));
+                }
                 return Some(PendingFrame {
                     dst,
                     seq,
@@ -922,7 +1017,8 @@ impl Mac {
     }
 
     /// Payload size for a destination: adapted when the census says so.
-    fn payload_for(&mut self, dst: NodeId) -> u32 {
+    /// A fresh census result is announced as an [`SimEvent::Adapt`].
+    fn payload_for(&mut self, dst: NodeId, observing: bool, out: &mut Vec<MacAction>) -> u32 {
         if !self.cfg.features.ht_adaptation {
             return self.cfg.payload_bytes;
         }
@@ -932,6 +1028,14 @@ impl Mac {
         if let Some(proto) = &self.proto {
             if let Ok(setting) = proto.tx_setting(dst) {
                 self.adapted.insert(dst, setting);
+                if observing {
+                    out.push(MacAction::Emit(SimEvent::Adapt {
+                        node: self.cfg.id,
+                        dst,
+                        cw: setting.cw,
+                        payload_bytes: setting.payload_bytes,
+                    }));
+                }
                 return setting.payload_bytes;
             }
         }
@@ -961,8 +1065,15 @@ impl Mac {
             return;
         };
         self.concurrent_sent = self.opportunity.map(|op| op.link);
-        if self.concurrent_sent.is_some() {
+        if let Some(link) = self.concurrent_sent {
             out.push(MacAction::Stat(StatEvent::ConcurrentTx));
+            if ctx.observing {
+                out.push(MacAction::Emit(SimEvent::ConcurrentTx {
+                    node: self.cfg.id,
+                    src: link.0,
+                    dst: link.1,
+                }));
+            }
         }
         if self.cfg.features.selective_repeat {
             if let Some(w) = self.arq_tx.get_mut(&p.dst) {
@@ -990,11 +1101,6 @@ impl Mac {
                 body: FrameBody::Rts { nav },
                 rate: self.cfg.phy.control_rate(),
             };
-            out.push(MacAction::Trace(TraceEvent::TxStart {
-                node: self.cfg.id,
-                dst: p.dst,
-                what: "RTS",
-            }));
             out.push(MacAction::Transmit(rts));
             return;
         }
@@ -1009,21 +1115,11 @@ impl Mac {
                 body: FrameBody::Discovery { data_duration },
                 rate: self.cfg.phy.header_rate(),
             };
-            out.push(MacAction::Trace(TraceEvent::TxStart {
-                node: self.cfg.id,
-                dst: p.dst,
-                what: "HDR",
-            }));
             out.push(MacAction::Transmit(header));
         } else {
             self.state = FlowState::TxData;
             let frame = self.data_frame(p, ctx);
             out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
-            out.push(MacAction::Trace(TraceEvent::TxStart {
-                node: self.cfg.id,
-                dst: p.dst,
-                what: "DATA",
-            }));
             out.push(MacAction::Transmit(frame));
         }
     }
@@ -1130,9 +1226,13 @@ impl Mac {
             baseline: ctx.sensed,
             sched,
         });
-        out.push(MacAction::Trace(TraceEvent::EtOpportunity {
-            node: self.cfg.id,
-        }));
+        if ctx.observing {
+            out.push(MacAction::Emit(SimEvent::EtOpportunity {
+                node: self.cfg.id,
+                src,
+                dst,
+            }));
+        }
         // sync() will resume the backoff under the watchdog.
     }
 

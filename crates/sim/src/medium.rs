@@ -35,6 +35,7 @@ use comap_radio::units::{Db, Dbm, Meters, MilliWatts, QuantizedPower};
 use comap_radio::{Position, NOISE_FLOOR};
 
 use crate::frame::{Frame, NodeId, TxId};
+use crate::observe::SimEvent;
 use crate::stats::MediumStats;
 
 /// A notification the medium hands back to the simulator for a node.
@@ -183,6 +184,18 @@ pub struct Medium {
     link_mean: Vec<LinkMean>,
     fast_sigma: Db,
     stats: MediumStats,
+    /// Instrumentation enabled — gates every event construction below,
+    /// so an unobserved medium pays one predictable branch per site.
+    observe: bool,
+    /// CCA threshold for carrier-sense transition events.
+    cs_threshold: MilliWatts,
+    /// Last carrier-sense state emitted per node.
+    cs_busy: Vec<bool>,
+    /// Events accumulated since the last [`Medium::take_events`].
+    events: Vec<SimEvent>,
+    /// Wall-clock nanoseconds spent verifying the ledger. Kept outside
+    /// [`MediumStats`] so wall-clock time never enters a [`SimReport`].
+    ledger_check_nanos: u64,
 }
 
 impl Medium {
@@ -226,12 +239,61 @@ impl Medium {
             link_mean,
             fast_sigma: Db::new(fast),
             stats: MediumStats::default(),
+            observe: false,
+            cs_threshold: Dbm::MIN.to_milliwatts(),
+            cs_busy: vec![false; n],
+            events: Vec::new(),
+            ledger_check_nanos: 0,
         }
     }
 
     /// Enables in-band header announcements.
     pub fn set_inband_announce(&mut self, enabled: bool) {
         self.inband_announce = enabled;
+    }
+
+    /// Enables instrumentation-event emission; carrier-sense busy/idle
+    /// transitions are judged against the CCA threshold `t_cs`.
+    pub fn enable_observation(&mut self, t_cs: Dbm) {
+        self.observe = true;
+        self.cs_threshold = t_cs.to_milliwatts();
+    }
+
+    /// Drains the events accumulated since the last call (always empty
+    /// unless [`Medium::enable_observation`] was called).
+    pub fn take_events(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Hands a drained buffer back so its capacity is reused.
+    pub fn restore_event_buffer(&mut self, mut buf: Vec<SimEvent>) {
+        if self.events.is_empty() {
+            buf.clear();
+            self.events = buf;
+        }
+    }
+
+    /// Wall-clock nanoseconds spent in ledger verification (debug
+    /// builds; 0 in release). Surfaced by the run profiler only — never
+    /// part of a report.
+    pub fn ledger_check_nanos(&self) -> u64 {
+        self.ledger_check_nanos
+    }
+
+    /// Emits a carrier-sense transition event for every node whose
+    /// sensed power crossed the CCA threshold since the last pass.
+    fn emit_cs_transitions(&mut self) {
+        for n in 0..self.states.len() {
+            let busy = self.sensed(NodeId(n)).value() >= self.cs_threshold.value();
+            if busy != self.cs_busy[n] {
+                self.cs_busy[n] = busy;
+                self.events.push(if busy {
+                    SimEvent::CsBusy { node: NodeId(n) }
+                } else {
+                    SimEvent::CsIdle { node: NodeId(n) }
+                });
+            }
+        }
     }
 
     /// Moves a node: future propagation uses the new position, and the
@@ -326,12 +388,15 @@ impl Medium {
             .unwrap_or(0)
     }
 
-    /// Debug-build ledger verification, run after every mutation.
+    /// Debug-build ledger verification, run after every mutation. The
+    /// wall-clock cost is accumulated for the run profiler.
     fn debug_check_ledger(&mut self) {
         if cfg!(debug_assertions) {
+            let started = std::time::Instant::now();
             self.stats.ledger_checks += 1;
             let divergence = self.ledger_divergence_grains();
             debug_assert_eq!(divergence, 0, "power ledger diverged from the active set");
+            self.ledger_check_nanos += started.elapsed().as_nanos() as u64;
         }
     }
 
@@ -412,9 +477,22 @@ impl Medium {
         // A transmitting node cannot keep receiving: it loses any lock.
         self.states[src].lock = None;
 
+        let observe = self.observe;
+        if observe {
+            self.events.push(SimEvent::TxBegin {
+                src: frame.src,
+                dst: frame.dst,
+                kind: frame.kind(),
+                rate: frame.rate,
+            });
+        }
+
         let mut notes = Vec::new();
         let capture = self.capture;
         let mut captures = 0;
+        // Captured receivers, recorded as events once the per-node
+        // borrow below is released.
+        let mut captured: Vec<usize> = Vec::new();
         for (n, &power) in powers.iter().enumerate() {
             if n == src {
                 continue;
@@ -451,6 +529,9 @@ impl Medium {
                     if capture && decodable {
                         announced = true;
                         captures += 1;
+                        if observe {
+                            captured.push(n);
+                        }
                         Some(RxLock {
                             tx: id,
                             signal: p,
@@ -480,6 +561,15 @@ impl Medium {
         }
 
         self.stats.captures += captures;
+        if observe {
+            for n in captured {
+                self.events.push(SimEvent::Capture {
+                    node: NodeId(n),
+                    src: frame.src,
+                });
+            }
+            self.emit_cs_transitions();
+        }
         self.debug_check_ledger();
         (id, notes)
     }
@@ -511,6 +601,14 @@ impl Medium {
         let src = frame.src.0;
         self.states[src].transmitting = None;
 
+        let observe = self.observe;
+        if observe {
+            self.events.push(SimEvent::TxEnd {
+                src: frame.src,
+                kind: frame.kind(),
+            });
+        }
+
         let mut notes = Vec::new();
         for (n, &power) in powers.iter().enumerate() {
             if n == src {
@@ -524,6 +622,16 @@ impl Medium {
                     self.states[n].lock = None;
                     let survive = (-lock.hazard).exp();
                     if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
+                        if observe {
+                            let sinr_db =
+                                10.0 * (lock.signal.value() / lock.interference.value()).log10();
+                            self.events.push(SimEvent::RxResolved {
+                                node: NodeId(n),
+                                src: frame.src,
+                                rssi_dbm: lock.signal.to_dbm().value(),
+                                sinr_db,
+                            });
+                        }
                         notes.push((
                             NodeId(n),
                             PhyNote::Rx {
@@ -533,6 +641,12 @@ impl Medium {
                         ));
                     } else {
                         self.stats.hazard_drops += 1;
+                        if observe {
+                            self.events.push(SimEvent::HazardDrop {
+                                node: NodeId(n),
+                                src: frame.src,
+                            });
+                        }
                     }
                 } else {
                     // The locked frame's interference just dropped: close
@@ -547,6 +661,9 @@ impl Medium {
             notes.push((NodeId(n), PhyNote::Sense));
         }
         notes.push((NodeId(src), PhyNote::TxDone { frame }));
+        if observe {
+            self.emit_cs_transitions();
+        }
         self.debug_check_ledger();
         notes
     }

@@ -1,0 +1,460 @@
+//! In-memory metrics aggregation: per-node time series and histograms
+//! built from the instrumentation event stream.
+//!
+//! [`MetricsSink`] folds [`SimEvent`](crate::observe::SimEvent)s into a
+//! [`Metrics`] section that it installs into
+//! [`SimReport::metrics`](crate::stats::SimReport) when the run
+//! finishes. Everything is stored in exact integer grains (nanoseconds
+//! of busy airtime per bucket, histogram counts) so the section
+//! round-trips through JSON losslessly and compares with `==`.
+
+use std::collections::BTreeMap;
+use std::mem;
+
+use comap_mac::time::SimTime;
+
+use crate::frame::NodeId;
+use crate::json::Json;
+use crate::observe::{Observer, SimEvent};
+use crate::stats::SimReport;
+
+/// Highest backoff escalation stage tracked individually; draws beyond
+/// it are folded into the last bin.
+pub const MAX_BACKOFF_STAGE: usize = 15;
+
+/// A fixed-bin histogram over `f64` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Width of each bin.
+    pub bin_width: f64,
+    /// Count per bin.
+    pub counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above the last bin's upper edge.
+    pub overflow: u64,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` bins of `bin_width`
+    /// starting at `lo`.
+    pub fn new(lo: f64, bin_width: f64, bins: usize) -> Self {
+        Histogram {
+            lo,
+            bin_width,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.count += 1;
+        self.sum += sample;
+        if sample < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let bin = ((sample - self.lo) / self.bin_width) as usize;
+        match self.counts.get_mut(bin) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Mean of all recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lo", Json::Num(self.lo)),
+            ("bin_width", Json::Num(self.bin_width)),
+            (
+                "counts",
+                Json::Arr(self.counts.iter().map(|&c| Json::Uint(c)).collect()),
+            ),
+            ("underflow", Json::Uint(self.underflow)),
+            ("overflow", Json::Uint(self.overflow)),
+            ("count", Json::Uint(self.count)),
+            ("sum", Json::Num(self.sum)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Histogram> {
+        Some(Histogram {
+            lo: v.get("lo")?.as_f64()?,
+            bin_width: v.get("bin_width")?.as_f64()?,
+            counts: v
+                .get("counts")?
+                .as_arr()?
+                .iter()
+                .map(|c| c.as_u64())
+                .collect::<Option<Vec<_>>>()?,
+            underflow: v.get("underflow")?.as_u64()?,
+            overflow: v.get("overflow")?.as_u64()?,
+            count: v.get("count")?.as_u64()?,
+            sum: v.get("sum")?.as_f64()?,
+        })
+    }
+}
+
+/// Per-node aggregates built from the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeMetrics {
+    /// Nanoseconds this node spent transmitting, per time bucket
+    /// (bucket width is [`Metrics::bucket_ns`]).
+    pub airtime_busy_ns: Vec<u64>,
+    /// Highest queue depth observed.
+    pub queue_depth_peak: u32,
+    /// Sum of sampled queue depths (for the mean).
+    pub queue_depth_sum: u64,
+    /// Number of queue-depth samples.
+    pub queue_depth_samples: u64,
+    /// Backoff draws per escalation stage (last bin collects
+    /// ≥ [`MAX_BACKOFF_STAGE`]).
+    pub backoff_stage: Vec<u64>,
+    /// SINR of successful receptions at this node, in dB.
+    pub sinr: Histogram,
+}
+
+impl Default for NodeMetrics {
+    fn default() -> Self {
+        NodeMetrics {
+            airtime_busy_ns: Vec::new(),
+            queue_depth_peak: 0,
+            queue_depth_sum: 0,
+            queue_depth_samples: 0,
+            backoff_stage: vec![0; MAX_BACKOFF_STAGE + 1],
+            // 1 dB bins over −10..40 dB covers noise-limited through
+            // interference-free receptions.
+            sinr: Histogram::new(-10.0, 1.0, 50),
+        }
+    }
+}
+
+impl NodeMetrics {
+    /// Mean sampled queue depth, or `None` when never sampled.
+    pub fn mean_queue_depth(&self) -> Option<f64> {
+        (self.queue_depth_samples > 0)
+            .then(|| self.queue_depth_sum as f64 / self.queue_depth_samples as f64)
+    }
+
+    /// Fraction of each bucket this node spent transmitting.
+    pub fn airtime_utilization(&self, bucket_ns: u64) -> Vec<f64> {
+        self.airtime_busy_ns
+            .iter()
+            .map(|&busy| busy as f64 / bucket_ns as f64)
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "airtime_busy_ns",
+                Json::Arr(
+                    self.airtime_busy_ns
+                        .iter()
+                        .map(|&b| Json::Uint(b))
+                        .collect(),
+                ),
+            ),
+            (
+                "queue_depth_peak",
+                Json::Uint(u64::from(self.queue_depth_peak)),
+            ),
+            ("queue_depth_sum", Json::Uint(self.queue_depth_sum)),
+            ("queue_depth_samples", Json::Uint(self.queue_depth_samples)),
+            (
+                "backoff_stage",
+                Json::Arr(self.backoff_stage.iter().map(|&c| Json::Uint(c)).collect()),
+            ),
+            ("sinr", self.sinr.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<NodeMetrics> {
+        let uints = |key: &str| -> Option<Vec<u64>> {
+            v.get(key)?.as_arr()?.iter().map(|c| c.as_u64()).collect()
+        };
+        Some(NodeMetrics {
+            airtime_busy_ns: uints("airtime_busy_ns")?,
+            queue_depth_peak: u32::try_from(v.get("queue_depth_peak")?.as_u64()?).ok()?,
+            queue_depth_sum: v.get("queue_depth_sum")?.as_u64()?,
+            queue_depth_samples: v.get("queue_depth_samples")?.as_u64()?,
+            backoff_stage: uints("backoff_stage")?,
+            sinr: Histogram::from_json(v.get("sinr")?)?,
+        })
+    }
+}
+
+/// The metrics section of a [`SimReport`], produced by [`MetricsSink`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Width of each airtime bucket, in nanoseconds.
+    pub bucket_ns: u64,
+    /// Aggregates per node.
+    pub nodes: BTreeMap<NodeId, NodeMetrics>,
+}
+
+impl Metrics {
+    /// Serializes the section as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bucket_ns", Json::Uint(self.bucket_ns)),
+            (
+                "nodes",
+                Json::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|(n, m)| {
+                            let Json::Obj(mut fields) = m.to_json() else {
+                                unreachable!("NodeMetrics::to_json returns an object")
+                            };
+                            fields.insert(0, ("node".to_string(), Json::Uint(n.0 as u64)));
+                            Json::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the section from its [`Metrics::to_json`] form.
+    pub fn from_json(v: &Json) -> Option<Metrics> {
+        let mut nodes = BTreeMap::new();
+        for entry in v.get("nodes")?.as_arr()? {
+            let node = NodeId(entry.get("node")?.as_u64()? as usize);
+            nodes.insert(node, NodeMetrics::from_json(entry)?);
+        }
+        Some(Metrics {
+            bucket_ns: v.get("bucket_ns")?.as_u64()?,
+            nodes,
+        })
+    }
+}
+
+/// Observer that aggregates the event stream into [`Metrics`] and
+/// installs the result into the report's `metrics` field.
+#[derive(Debug)]
+pub struct MetricsSink {
+    metrics: Metrics,
+    tx_since: BTreeMap<NodeId, SimTime>,
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        MetricsSink::new()
+    }
+}
+
+impl MetricsSink {
+    /// Default airtime bucket: 10 ms.
+    pub const DEFAULT_BUCKET_NS: u64 = 10_000_000;
+
+    /// Creates a sink with the default bucket width.
+    pub fn new() -> Self {
+        MetricsSink::with_bucket_ns(Self::DEFAULT_BUCKET_NS)
+    }
+
+    /// Creates a sink with a custom airtime bucket width.
+    pub fn with_bucket_ns(bucket_ns: u64) -> Self {
+        assert!(bucket_ns > 0, "bucket width must be positive");
+        MetricsSink {
+            metrics: Metrics {
+                bucket_ns,
+                nodes: BTreeMap::new(),
+            },
+            tx_since: BTreeMap::new(),
+        }
+    }
+
+    fn node(&mut self, node: NodeId) -> &mut NodeMetrics {
+        self.metrics.nodes.entry(node).or_default()
+    }
+
+    fn add_busy_span(&mut self, node: NodeId, start: SimTime, end: SimTime) {
+        let bucket_ns = self.metrics.bucket_ns;
+        let m = self.node(node);
+        let mut at = start.as_nanos();
+        let end = end.as_nanos();
+        while at < end {
+            let bucket = (at / bucket_ns) as usize;
+            let bucket_end = (bucket as u64 + 1) * bucket_ns;
+            let span = end.min(bucket_end) - at;
+            if m.airtime_busy_ns.len() <= bucket {
+                m.airtime_busy_ns.resize(bucket + 1, 0);
+            }
+            m.airtime_busy_ns[bucket] += span;
+            at += span;
+        }
+    }
+
+    fn sample_depth(&mut self, node: NodeId, depth: u32) {
+        let m = self.node(node);
+        m.queue_depth_peak = m.queue_depth_peak.max(depth);
+        m.queue_depth_sum += u64::from(depth);
+        m.queue_depth_samples += 1;
+    }
+}
+
+impl Observer for MetricsSink {
+    fn on_event(&mut self, now: SimTime, event: &SimEvent) {
+        match *event {
+            SimEvent::TxBegin { src, .. } => {
+                self.tx_since.insert(src, now);
+            }
+            SimEvent::TxEnd { src, .. } => {
+                if let Some(start) = self.tx_since.remove(&src) {
+                    self.add_busy_span(src, start, now);
+                }
+            }
+            SimEvent::Enqueue { node, depth, .. } | SimEvent::Dequeue { node, depth, .. } => {
+                self.sample_depth(node, depth);
+            }
+            SimEvent::BackoffDraw { node, stage, .. } => {
+                let bin = (stage as usize).min(MAX_BACKOFF_STAGE);
+                self.node(node).backoff_stage[bin] += 1;
+            }
+            SimEvent::RxResolved { node, sinr_db, .. } => {
+                self.node(node).sinr.record(sinr_db);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self, report: &mut SimReport) {
+        report.metrics = Some(mem::take(&mut self.metrics));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comap_mac::frames::FrameKind;
+    use comap_radio::rates::Rate;
+
+    fn tx(src: usize) -> SimEvent {
+        SimEvent::TxBegin {
+            src: NodeId(src),
+            dst: NodeId(1),
+            kind: FrameKind::Data,
+            rate: Rate::Mbps11,
+        }
+    }
+
+    #[test]
+    fn busy_spans_split_across_buckets() {
+        let mut sink = MetricsSink::with_bucket_ns(1_000);
+        sink.on_event(SimTime::from_nanos(500), &tx(0));
+        sink.on_event(
+            SimTime::from_nanos(2_200),
+            &SimEvent::TxEnd {
+                src: NodeId(0),
+                kind: FrameKind::Data,
+            },
+        );
+        let m = &sink.metrics.nodes[&NodeId(0)];
+        assert_eq!(m.airtime_busy_ns, vec![500, 1_000, 200]);
+        assert_eq!(m.airtime_utilization(1_000), vec![0.5, 1.0, 0.2]);
+    }
+
+    #[test]
+    fn queue_depth_and_backoff_and_sinr_aggregate() {
+        let mut sink = MetricsSink::new();
+        let t = SimTime::ZERO;
+        sink.on_event(
+            t,
+            &SimEvent::Enqueue {
+                node: NodeId(0),
+                dst: NodeId(1),
+                depth: 3,
+            },
+        );
+        sink.on_event(
+            t,
+            &SimEvent::Dequeue {
+                node: NodeId(0),
+                dst: NodeId(1),
+                depth: 1,
+            },
+        );
+        sink.on_event(
+            t,
+            &SimEvent::BackoffDraw {
+                node: NodeId(0),
+                stage: 99,
+                slots: 4,
+            },
+        );
+        sink.on_event(
+            t,
+            &SimEvent::RxResolved {
+                node: NodeId(1),
+                src: NodeId(0),
+                rssi_dbm: -60.0,
+                sinr_db: 12.4,
+            },
+        );
+        let m = &sink.metrics.nodes[&NodeId(0)];
+        assert_eq!(m.queue_depth_peak, 3);
+        assert_eq!(m.mean_queue_depth(), Some(2.0));
+        assert_eq!(m.backoff_stage[MAX_BACKOFF_STAGE], 1);
+        let rx = &sink.metrics.nodes[&NodeId(1)];
+        assert_eq!(rx.sinr.count, 1);
+        assert_eq!(rx.sinr.counts[22], 1);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json() {
+        let mut sink = MetricsSink::with_bucket_ns(1_000);
+        sink.on_event(SimTime::from_nanos(100), &tx(0));
+        sink.on_event(
+            SimTime::from_nanos(900),
+            &SimEvent::TxEnd {
+                src: NodeId(0),
+                kind: FrameKind::Data,
+            },
+        );
+        sink.on_event(
+            SimTime::ZERO,
+            &SimEvent::RxResolved {
+                node: NodeId(1),
+                src: NodeId(0),
+                rssi_dbm: -60.0,
+                sinr_db: 25.5,
+            },
+        );
+        let metrics = sink.metrics.clone();
+        let text = metrics.to_json().to_string_compact();
+        let back = Metrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, metrics);
+    }
+
+    #[test]
+    fn finish_installs_the_section() {
+        let mut sink = MetricsSink::new();
+        sink.on_event(SimTime::ZERO, &tx(2));
+        sink.on_event(
+            SimTime::from_nanos(50),
+            &SimEvent::TxEnd {
+                src: NodeId(2),
+                kind: FrameKind::Data,
+            },
+        );
+        let mut report = SimReport::default();
+        sink.finish(&mut report);
+        let metrics = report.metrics.expect("metrics installed");
+        assert_eq!(metrics.nodes[&NodeId(2)].airtime_busy_ns, vec![50]);
+    }
+}

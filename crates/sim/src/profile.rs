@@ -1,0 +1,261 @@
+//! Event-loop profiling: wall-clock throughput, per-event-type cost,
+//! queue pressure, and ledger-check overhead for a single run.
+//!
+//! Profiling is orthogonal to the observer layer — it times the event
+//! loop itself rather than listening to simulation events, and it never
+//! touches simulation state, so a profiled run produces the same
+//! [`SimReport`](crate::stats::SimReport) as an unprofiled one. Use
+//! [`Simulator::run_profiled`](crate::Simulator::run_profiled) to get a
+//! [`RunProfile`] next to the report.
+
+use std::time::Instant;
+
+use comap_mac::time::SimDuration;
+
+use crate::event::{Event, EventQueue};
+use crate::json::Json;
+
+/// Count and cumulative wall-clock cost of one event type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventTypeProfile {
+    /// Event type name (see [`Event::KIND_NAMES`]).
+    pub name: String,
+    /// Events of this type processed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds spent dispatching them.
+    pub nanos: u64,
+}
+
+/// Wall-clock profile of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProfile {
+    /// Total events processed.
+    pub events: u64,
+    /// Wall-clock duration of the run, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Simulated duration, in nanoseconds.
+    pub sim_nanos: u64,
+    /// Peak event-queue depth observed.
+    pub queue_peak: u64,
+    /// Per-event-type counts and dispatch cost.
+    pub by_type: Vec<EventTypeProfile>,
+    /// Number of ledger verifications performed (debug builds only).
+    pub ledger_checks: u64,
+    /// Wall-clock nanoseconds spent in ledger verification.
+    pub ledger_check_nanos: u64,
+}
+
+impl RunProfile {
+    /// Events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+
+    /// Serializes the profile as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("events", Json::Uint(self.events)),
+            ("wall_nanos", Json::Uint(self.wall_nanos)),
+            ("sim_nanos", Json::Uint(self.sim_nanos)),
+            ("events_per_sec", Json::Num(self.events_per_sec())),
+            ("queue_peak", Json::Uint(self.queue_peak)),
+            (
+                "by_type",
+                Json::Arr(
+                    self.by_type
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("name", Json::str(t.name.clone())),
+                                ("count", Json::Uint(t.count)),
+                                ("nanos", Json::Uint(t.nanos)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("ledger_checks", Json::Uint(self.ledger_checks)),
+            ("ledger_check_nanos", Json::Uint(self.ledger_check_nanos)),
+        ])
+    }
+
+    /// Parses a profile from its [`RunProfile::to_json`] form.
+    ///
+    /// The derived `events_per_sec` field is ignored on input — it is
+    /// recomputed from `events` and `wall_nanos`.
+    pub fn from_json(v: &Json) -> Option<RunProfile> {
+        let mut by_type = Vec::new();
+        for entry in v.get("by_type")?.as_arr()? {
+            by_type.push(EventTypeProfile {
+                name: entry.get("name")?.as_str()?.to_string(),
+                count: entry.get("count")?.as_u64()?,
+                nanos: entry.get("nanos")?.as_u64()?,
+            });
+        }
+        Some(RunProfile {
+            events: v.get("events")?.as_u64()?,
+            wall_nanos: v.get("wall_nanos")?.as_u64()?,
+            sim_nanos: v.get("sim_nanos")?.as_u64()?,
+            queue_peak: v.get("queue_peak")?.as_u64()?,
+            by_type,
+            ledger_checks: v.get("ledger_checks")?.as_u64()?,
+            ledger_check_nanos: v.get("ledger_check_nanos")?.as_u64()?,
+        })
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "profile: {} events in {:.1} ms wall ({:.0} events/s), queue peak {}",
+            self.events,
+            self.wall_nanos as f64 / 1e6,
+            self.events_per_sec(),
+            self.queue_peak
+        );
+        for t in &self.by_type {
+            if t.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>9} events  {:>8.2} ms  ({:.0} ns/event)",
+                t.name,
+                t.count,
+                t.nanos as f64 / 1e6,
+                t.nanos as f64 / t.count as f64
+            );
+        }
+        if self.ledger_checks > 0 {
+            let _ = writeln!(
+                out,
+                "  ledger checks  {:>9}         {:>8.2} ms",
+                self.ledger_checks,
+                self.ledger_check_nanos as f64 / 1e6
+            );
+        }
+        out
+    }
+}
+
+/// Live profiling state threaded through the event loop.
+pub(crate) struct Profiler {
+    start: Instant,
+    counts: [u64; Event::KIND_COUNT],
+    nanos: [u64; Event::KIND_COUNT],
+    queue_peak: usize,
+}
+
+impl Profiler {
+    pub(crate) fn new() -> Self {
+        Profiler {
+            start: Instant::now(),
+            counts: [0; Event::KIND_COUNT],
+            nanos: [0; Event::KIND_COUNT],
+            queue_peak: 0,
+        }
+    }
+
+    /// Called before each pop to track peak queue pressure.
+    pub(crate) fn observe_queue(&mut self, queue: &EventQueue) {
+        self.queue_peak = self.queue_peak.max(queue.len());
+    }
+
+    /// Starts timing one event dispatch.
+    pub(crate) fn dispatch_start(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Finishes timing one event dispatch.
+    pub(crate) fn dispatch_end(&mut self, kind: usize, started: Instant) {
+        self.counts[kind] += 1;
+        self.nanos[kind] += started.elapsed().as_nanos() as u64;
+    }
+
+    pub(crate) fn finish(
+        self,
+        sim_duration: SimDuration,
+        ledger_checks: u64,
+        ledger_check_nanos: u64,
+    ) -> RunProfile {
+        let wall_nanos = self.start.elapsed().as_nanos() as u64;
+        let by_type = Event::KIND_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| EventTypeProfile {
+                name: (*name).to_string(),
+                count: self.counts[i],
+                nanos: self.nanos[i],
+            })
+            .collect();
+        RunProfile {
+            events: self.counts.iter().sum(),
+            wall_nanos,
+            sim_nanos: sim_duration.as_nanos(),
+            queue_peak: self.queue_peak as u64,
+            by_type,
+            ledger_checks,
+            ledger_check_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunProfile {
+        RunProfile {
+            events: 1_000,
+            wall_nanos: 2_000_000,
+            sim_nanos: 400_000_000,
+            queue_peak: 7,
+            by_type: vec![
+                EventTypeProfile {
+                    name: "tx_end".to_string(),
+                    count: 600,
+                    nanos: 1_500_000,
+                },
+                EventTypeProfile {
+                    name: "flow_timer".to_string(),
+                    count: 400,
+                    nanos: 500_000,
+                },
+            ],
+            ledger_checks: 1_200,
+            ledger_check_nanos: 90_000,
+        }
+    }
+
+    #[test]
+    fn events_per_sec_is_events_over_wall_time() {
+        let p = sample();
+        assert!((p.events_per_sec() - 500_000.0).abs() < 1e-6);
+        let idle = RunProfile {
+            wall_nanos: 0,
+            ..sample()
+        };
+        assert_eq!(idle.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn profile_round_trips_through_json() {
+        let p = sample();
+        let text = p.to_json().to_string_compact();
+        let back = RunProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn summary_mentions_throughput_and_types() {
+        let s = sample().summary();
+        assert!(s.contains("events/s"));
+        assert!(s.contains("tx_end"));
+        assert!(s.contains("ledger checks"));
+    }
+}

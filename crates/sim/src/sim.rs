@@ -1,6 +1,7 @@
 //! The simulation engine: event loop, wiring and reporting.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,11 +15,11 @@ use crate::event::{Event, EventQueue};
 use crate::frame::NodeId;
 use crate::mac::{Mac, MacAction, MacConfig, MacCtx, MacEvent, StatEvent};
 use crate::medium::{Medium, PhyNote};
+use crate::observe::{Observer, SimEvent};
+use crate::profile::{Profiler, RunProfile};
 use crate::stats::SimReport;
-use crate::trace::TraceLog;
 
 /// A configured, runnable simulation.
-#[derive(Debug)]
 pub struct Simulator {
     cfg: SimConfig,
     medium: Medium,
@@ -28,8 +29,22 @@ pub struct Simulator {
     flow_gen: Vec<u64>,
     resp_gen: Vec<u64>,
     report: SimReport,
-    trace: TraceLog,
+    /// Attached observers; events fan out to each in order.
+    sinks: Vec<Box<dyn Observer>>,
+    /// `true` once any sink is attached — the single gate every
+    /// emission site checks.
+    observing: bool,
     move_rng: StdRng,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("events", &self.report.events)
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Simulator {
@@ -114,7 +129,6 @@ impl Simulator {
             }
         }
 
-        let trace = TraceLog::new(cfg.trace);
         let move_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBB67_AE85_84CA_A73B);
         Simulator {
             cfg,
@@ -125,30 +139,54 @@ impl Simulator {
             flow_gen: vec![0; n],
             resp_gen: vec![0; n],
             report: SimReport::default(),
-            trace,
+            sinks: Vec::new(),
+            observing: false,
             move_rng,
         }
+    }
+
+    /// Attaches an observer. Events start flowing to it from the next
+    /// `run`; attaching any sink enables event emission in the medium
+    /// and every MAC, but never changes simulation results (sinks have
+    /// no channel back, and no emission touches an RNG stream).
+    pub fn attach_sink(&mut self, sink: Box<dyn Observer>) {
+        self.observing = true;
+        self.medium.enable_observation(self.cfg.protocol.t_cs);
+        self.sinks.push(sink);
     }
 
     /// Runs the simulation for `duration` of simulated time and returns
     /// the report.
     pub fn run(self, duration: SimDuration) -> SimReport {
-        self.run_traced(duration).0
+        self.run_core(duration, false).0
     }
 
-    /// Runs and also returns the trace log (timeline example).
-    pub fn run_traced(mut self, duration: SimDuration) -> (SimReport, TraceLog) {
+    /// Runs with the event-loop profiler enabled, returning the report
+    /// alongside the wall-clock profile. Profiling only *times* the
+    /// loop, so the report is identical to an unprofiled run.
+    pub fn run_profiled(self, duration: SimDuration) -> (SimReport, RunProfile) {
+        let (report, profile) = self.run_core(duration, true);
+        (report, profile.expect("profiling was enabled"))
+    }
+
+    fn run_core(mut self, duration: SimDuration, profile: bool) -> (SimReport, Option<RunProfile>) {
         let end = SimTime::ZERO + duration;
+        let mut profiler = profile.then(Profiler::new);
         while let Some(t) = self.queue.peek_time() {
             if t > end {
                 break;
             }
+            if let Some(p) = &mut profiler {
+                p.observe_queue(&self.queue);
+            }
             let (t, event) = self.queue.pop().expect("peeked event exists");
             self.now = t;
             self.report.events += 1;
+            let started = profiler.as_ref().map(Profiler::dispatch_start);
             match event {
                 Event::TxEnd(tx) => {
                     let notes = self.medium.end(tx, self.now);
+                    self.forward_medium_events();
                     self.dispatch_notes(notes);
                 }
                 Event::FlowTimer { node, gen } => {
@@ -166,10 +204,44 @@ impl Simulator {
                 }
                 Event::Mobility { node, step } => self.apply_move(node, step),
             }
+            if let (Some(p), Some(s)) = (&mut profiler, started) {
+                p.dispatch_end(event.kind_index(), s);
+            }
         }
         self.report.duration = duration;
         self.report.medium = self.medium.stats();
-        (self.report, self.trace)
+        for sink in &mut self.sinks {
+            sink.finish(&mut self.report);
+        }
+        let profile = profiler.map(|p| {
+            p.finish(
+                duration,
+                self.report.medium.ledger_checks,
+                self.medium.ledger_check_nanos(),
+            )
+        });
+        (self.report, profile)
+    }
+
+    /// Fans one event out to every attached sink.
+    fn emit(&mut self, event: SimEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(self.now, &event);
+        }
+    }
+
+    /// Drains the medium's pending events into the sinks. Called right
+    /// after every `Medium::begin`/`Medium::end` so physical-layer
+    /// events precede the MAC reactions they trigger.
+    fn forward_medium_events(&mut self) {
+        if !self.observing {
+            return;
+        }
+        let events = self.medium.take_events();
+        for ev in &events {
+            self.emit(*ev);
+        }
+        self.medium.restore_event_buffer(events);
     }
 
     /// Human-readable node name.
@@ -235,6 +307,7 @@ impl Simulator {
                 sensed: self.medium.sensed(node),
                 transmitting: self.medium.is_transmitting(node),
                 locked: self.medium.is_locked(node),
+                observing: self.observing,
             };
             let actions = self.macs[node.0].handle(event, ctx);
             for action in actions {
@@ -279,6 +352,7 @@ impl Simulator {
                     .frame_duration(frame.on_air_bytes(), frame.rate);
                 let end = self.now + duration;
                 let (tx, notes) = self.medium.begin(frame, self.now, end);
+                self.forward_medium_events();
                 self.queue.schedule(end, Event::TxEnd(tx));
                 self.report.node_mut(node).airtime += duration;
                 for (n, note) in notes {
@@ -293,7 +367,7 @@ impl Simulator {
                 }
             }
             MacAction::Stat(stat) => self.account(node, stat),
-            MacAction::Trace(ev) => self.trace.push(self.now, ev),
+            MacAction::Emit(ev) => self.emit(ev),
         }
     }
 

@@ -7,6 +7,8 @@ use serde::{Deserialize, Serialize};
 use comap_mac::time::SimDuration;
 
 use crate::frame::NodeId;
+use crate::json::Json;
+use crate::metrics::Metrics;
 
 /// Counters of one directed link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,7 +54,7 @@ pub struct MediumStats {
 }
 
 /// Results of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Simulated duration.
     pub duration: SimDuration,
@@ -67,6 +69,9 @@ pub struct SimReport {
     pub position_reports: u64,
     /// Physical-layer counters from the medium.
     pub medium: MediumStats,
+    /// Per-node metrics, present when a
+    /// [`MetricsSink`](crate::metrics::MetricsSink) was attached.
+    pub metrics: Option<Metrics>,
 }
 
 impl SimReport {
@@ -121,6 +126,112 @@ impl SimReport {
     /// Mutable access to a node's counters, creating them if absent.
     pub fn node_mut(&mut self, node: NodeId) -> &mut NodeStats {
         self.nodes.entry(node).or_default()
+    }
+
+    /// Serializes the report (including the metrics section, when
+    /// present) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let links = self
+            .links
+            .iter()
+            .map(|(&(src, dst), l)| {
+                Json::obj(vec![
+                    ("src", Json::Uint(src.0 as u64)),
+                    ("dst", Json::Uint(dst.0 as u64)),
+                    ("delivered_bytes", Json::Uint(l.delivered_bytes)),
+                    ("delivered_frames", Json::Uint(l.delivered_frames)),
+                    ("data_tx", Json::Uint(l.data_tx)),
+                    ("ack_timeouts", Json::Uint(l.ack_timeouts)),
+                    ("drops", Json::Uint(l.drops)),
+                ])
+            })
+            .collect();
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|(&node, n)| {
+                Json::obj(vec![
+                    ("node", Json::Uint(node.0 as u64)),
+                    ("airtime_ns", Json::Uint(n.airtime.as_nanos())),
+                    ("concurrent_tx", Json::Uint(n.concurrent_tx)),
+                    ("et_abandons", Json::Uint(n.et_abandons)),
+                    ("headers_heard", Json::Uint(n.headers_heard)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("duration_ns", Json::Uint(self.duration.as_nanos())),
+            ("events", Json::Uint(self.events)),
+            ("position_reports", Json::Uint(self.position_reports)),
+            ("links", Json::Arr(links)),
+            ("nodes", Json::Arr(nodes)),
+            (
+                "medium",
+                Json::obj(vec![
+                    ("captures", Json::Uint(self.medium.captures)),
+                    ("hazard_drops", Json::Uint(self.medium.hazard_drops)),
+                    ("ledger_checks", Json::Uint(self.medium.ledger_checks)),
+                ]),
+            ),
+            (
+                "metrics",
+                match &self.metrics {
+                    Some(m) => m.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses a report from its [`SimReport::to_json`] form.
+    pub fn from_json(v: &Json) -> Option<SimReport> {
+        let mut links = BTreeMap::new();
+        for l in v.get("links")?.as_arr()? {
+            let key = (
+                NodeId(l.get("src")?.as_u64()? as usize),
+                NodeId(l.get("dst")?.as_u64()? as usize),
+            );
+            links.insert(
+                key,
+                LinkStats {
+                    delivered_bytes: l.get("delivered_bytes")?.as_u64()?,
+                    delivered_frames: l.get("delivered_frames")?.as_u64()?,
+                    data_tx: l.get("data_tx")?.as_u64()?,
+                    ack_timeouts: l.get("ack_timeouts")?.as_u64()?,
+                    drops: l.get("drops")?.as_u64()?,
+                },
+            );
+        }
+        let mut nodes = BTreeMap::new();
+        for n in v.get("nodes")?.as_arr()? {
+            nodes.insert(
+                NodeId(n.get("node")?.as_u64()? as usize),
+                NodeStats {
+                    airtime: SimDuration::from_nanos(n.get("airtime_ns")?.as_u64()?),
+                    concurrent_tx: n.get("concurrent_tx")?.as_u64()?,
+                    et_abandons: n.get("et_abandons")?.as_u64()?,
+                    headers_heard: n.get("headers_heard")?.as_u64()?,
+                },
+            );
+        }
+        let medium = v.get("medium")?;
+        let metrics = match v.get("metrics")? {
+            Json::Null => None,
+            m => Some(Metrics::from_json(m)?),
+        };
+        Some(SimReport {
+            duration: SimDuration::from_nanos(v.get("duration_ns")?.as_u64()?),
+            links,
+            nodes,
+            events: v.get("events")?.as_u64()?,
+            position_reports: v.get("position_reports")?.as_u64()?,
+            medium: MediumStats {
+                captures: medium.get("captures")?.as_u64()?,
+                hazard_drops: medium.get("hazard_drops")?.as_u64()?,
+                ledger_checks: medium.get("ledger_checks")?.as_u64()?,
+            },
+            metrics,
+        })
     }
 }
 

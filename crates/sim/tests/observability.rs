@@ -1,0 +1,135 @@
+//! The observability layer's two contracts, end to end:
+//!
+//! 1. **Non-perturbation** — attaching any combination of sinks to a
+//!    run must leave the `SimReport` bit-identical to a run without
+//!    sinks (and to a profiled run): emission never touches an RNG
+//!    stream and sinks have no channel back into the simulation.
+//! 2. **Fidelity** — everything a sink records survives serialization:
+//!    the JSONL event stream parses back to the exact events the
+//!    in-memory timeline saw, and a `SimReport` with a metrics section
+//!    round-trips through JSON losslessly.
+
+use std::cell::RefCell;
+use std::io;
+use std::rc::Rc;
+
+use comap_mac::time::SimDuration;
+use comap_radio::Position;
+use comap_sim::config::{MacFeatures, NodeSpec, SimConfig, Traffic};
+use comap_sim::observe::parse_jsonl_line;
+use comap_sim::{Json, JsonlSink, MetricsSink, NoopSink, SimReport, Simulator, TimelineSink};
+
+/// A CO-MAP four-node topology that exercises every event source:
+/// captures, hazard drops, discovery headers, ET opportunities,
+/// retries and adaptation.
+fn busy_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::testbed(seed);
+    cfg.default_features = MacFeatures::COMAP;
+    let ap1 = cfg.add_node(NodeSpec::ap("AP1", Position::new(0.0, 0.0)));
+    let c1 = cfg.add_node(NodeSpec::client("C1", Position::new(-8.0, 0.0)));
+    let ap2 = cfg.add_node(NodeSpec::ap("AP2", Position::new(36.0, 0.0)));
+    let c2 = cfg.add_node(NodeSpec::client("C2", Position::new(26.0, 0.0)));
+    cfg.add_flow(c1, ap1, Traffic::Saturated);
+    cfg.add_flow(c2, ap2, Traffic::Saturated);
+    cfg
+}
+
+const DURATION: SimDuration = SimDuration::from_millis(120);
+
+/// An `io::Write` that appends into a shared buffer, so a test can read
+/// back what a consumed [`JsonlSink`] wrote.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn sinks_do_not_perturb_the_report() {
+    let bare = Simulator::new(busy_cfg(7)).run(DURATION);
+
+    let buf = SharedBuf::default();
+    let (timeline, _handle) = TimelineSink::new();
+    let mut sim = Simulator::new(busy_cfg(7));
+    sim.attach_sink(Box::new(NoopSink));
+    sim.attach_sink(Box::new(JsonlSink::new(buf.clone())));
+    sim.attach_sink(Box::new(MetricsSink::new()));
+    sim.attach_sink(Box::new(timeline));
+    let mut observed = sim.run(DURATION);
+
+    // The metrics section is the one *intentional* addition a sink
+    // makes; everything else must match exactly.
+    assert!(observed.metrics.is_some(), "MetricsSink fills the section");
+    observed.metrics = None;
+    assert_eq!(observed, bare, "sinks changed the simulation");
+    assert!(!buf.0.borrow().is_empty(), "the run produced events");
+}
+
+#[test]
+fn profiling_does_not_perturb_the_report() {
+    let bare = Simulator::new(busy_cfg(11)).run(DURATION);
+    let (profiled, profile) = Simulator::new(busy_cfg(11)).run_profiled(DURATION);
+    assert_eq!(profiled, bare);
+
+    // Profile sanity: every processed event is accounted for, with a
+    // real wall-clock rate and a queue that was non-trivial at peak.
+    assert!(profile.events > 0);
+    assert!(profile.events_per_sec() > 0.0);
+    assert!(profile.queue_peak > 0);
+    assert_eq!(profile.sim_nanos, DURATION.as_nanos());
+    let by_type: u64 = profile.by_type.iter().map(|t| t.count).sum();
+    assert_eq!(by_type, profile.events);
+
+    // And the profile itself round-trips through its JSON form.
+    let text = profile.to_json().to_string_compact();
+    let back = comap_sim::RunProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, profile);
+}
+
+#[test]
+fn jsonl_stream_matches_the_timeline() {
+    let buf = SharedBuf::default();
+    let (timeline, handle) = TimelineSink::new();
+    let mut sim = Simulator::new(busy_cfg(3));
+    sim.attach_sink(Box::new(JsonlSink::new(buf.clone())));
+    sim.attach_sink(Box::new(timeline));
+    sim.run(DURATION);
+
+    let text = String::from_utf8(buf.0.borrow().clone()).expect("UTF-8 JSONL");
+    let parsed: Vec<_> = text
+        .lines()
+        .map(|line| parse_jsonl_line(line).expect("every line parses"))
+        .collect();
+    let recorded = handle.events();
+    assert!(!recorded.is_empty());
+    assert_eq!(parsed, recorded, "JSONL stream diverged from the timeline");
+
+    // The human-readable rendering covers the same events.
+    assert_eq!(handle.render().lines().count(), recorded.len());
+}
+
+#[test]
+fn report_with_metrics_round_trips_through_json() {
+    let mut sim = Simulator::new(busy_cfg(5));
+    sim.attach_sink(Box::new(MetricsSink::new()));
+    let report = sim.run(DURATION);
+    assert!(report.metrics.is_some());
+
+    let text = report.to_json().to_string_compact();
+    let back = SimReport::from_json(&Json::parse(&text).unwrap()).expect("valid report JSON");
+    assert_eq!(back, report);
+
+    // A report without the section round-trips too (the field is null).
+    let bare = Simulator::new(busy_cfg(5)).run(DURATION);
+    let text = bare.to_json().to_string_compact();
+    let back = SimReport::from_json(&Json::parse(&text).unwrap()).expect("valid report JSON");
+    assert_eq!(back, bare);
+}

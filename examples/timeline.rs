@@ -1,41 +1,50 @@
 //! Timeline of the enhanced multi-ET scheduler — the paper's Fig. 6.
 //!
-//! Traces a short run of the ET testbed with CO-MAP enabled and prints
-//! the MAC-level events: discovery headers, exposed-terminal
-//! opportunities, concurrent transmissions, watchdog abandons.
+//! Attaches a [`TimelineSink`] to a short run of the ET testbed with
+//! CO-MAP enabled and prints the MAC-level events: discovery headers,
+//! exposed-terminal opportunities, concurrent transmissions, watchdog
+//! abandons.
 //!
 //! Run with `cargo run --release --example timeline`.
 
 use comap::experiments::topology::et_testbed;
 use comap::mac::SimDuration;
 use comap::sim::config::MacFeatures;
-use comap::sim::{Simulator, TraceEvent};
+use comap::sim::observe::kind_label;
+use comap::sim::{SimEvent, Simulator, TimelineSink};
 
 fn main() {
-    let (mut cfg, ids) = et_testbed(26.0, MacFeatures::COMAP, 3);
-    cfg.trace = true;
+    let (cfg, ids) = et_testbed(26.0, MacFeatures::COMAP, 3);
     let names = ["AP1", "C1", "AP2", "C2"];
 
-    let sim = Simulator::new(cfg);
-    let (report, trace) = sim.run_traced(SimDuration::from_millis(30));
+    let (sink, handle) = TimelineSink::new();
+    let mut sim = Simulator::new(cfg);
+    sim.attach_sink(Box::new(sink));
+    let report = sim.run(SimDuration::from_millis(30));
 
     println!("First 30 ms of the CO-MAP ET testbed (C2 at 26 m):\n");
-    for (t, event) in trace.events() {
-        let line = match *event {
-            TraceEvent::TxStart { node, dst, what } => {
-                format!("{} ── {what} ──▶ {}", names[node.0], names[dst.0])
+    for (t, event) in handle.events() {
+        let line = match event {
+            SimEvent::TxBegin { src, dst, kind, .. } => {
+                format!(
+                    "{} ── {} ──▶ {}",
+                    names[src.0],
+                    kind_label(kind),
+                    names[dst.0]
+                )
             }
-            TraceEvent::TxEnd { node } => format!("{} tx end", names[node.0]),
-            TraceEvent::Defer { node } => format!("{} defers (channel busy)", names[node.0]),
-            TraceEvent::EtOpportunity { node } => {
+            SimEvent::TxEnd { src, .. } => format!("{} tx end", names[src.0]),
+            SimEvent::Defer { node } => format!("{} defers (channel busy)", names[node.0]),
+            SimEvent::EtOpportunity { node, .. } => {
                 format!("{} ENTERS exposed-terminal opportunity", names[node.0])
             }
-            TraceEvent::EtAbandon { node } => {
+            SimEvent::EtAbandon { node } => {
                 format!("{} abandons opportunity (RSSI watchdog)", names[node.0])
             }
-            TraceEvent::Delivered { node, from } => {
+            SimEvent::Delivered { node, from, .. } => {
                 format!("{} delivered data from {}", names[node.0], names[from.0])
             }
+            _ => continue,
         };
         println!("{:>10.3} ms  {line}", t.as_secs_f64() * 1e3);
     }

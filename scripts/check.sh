@@ -23,4 +23,10 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> profiling smoke run (fig02 --quick --profile-json)"
+cargo run --release -p comap-experiments --bin fig02 -- --quick \
+    --profile-json target/profile_smoke.json
+cargo run --release -p comap-experiments --bin profile_check -- \
+    target/profile_smoke.json
+
 echo "all checks passed"
