@@ -78,11 +78,13 @@ impl Fig01 {
 
     /// Goodput at the far end of the sweep (C2 out of carrier sense).
     pub fn far_end(&self) -> f64 {
+        // simlint: allow(panic-policy) — the sweep constructor emits one point per C2 position
         self.points.last().expect("non-empty sweep").c1_goodput
     }
 
     /// Goodput at the near end (C2 a genuine contender).
     pub fn near_end(&self) -> f64 {
+        // simlint: allow(panic-policy) — the sweep constructor emits one point per C2 position
         self.points.first().expect("non-empty sweep").c1_goodput
     }
 }

@@ -79,7 +79,8 @@ impl Fig02 {
     pub fn best_payload_with_ht(&self) -> u32 {
         self.points
             .iter()
-            .max_by(|a, b| a.one_ht.partial_cmp(&b.one_ht).expect("finite"))
+            .max_by(|a, b| a.one_ht.total_cmp(&b.one_ht))
+            // simlint: allow(panic-policy) — the sweep emits one point per payload size
             .expect("non-empty")
             .payload
     }
@@ -88,7 +89,8 @@ impl Fig02 {
     pub fn best_payload_with_three_hts(&self) -> u32 {
         self.points
             .iter()
-            .max_by(|a, b| a.three_ht.partial_cmp(&b.three_ht).expect("finite"))
+            .max_by(|a, b| a.three_ht.total_cmp(&b.three_ht))
+            // simlint: allow(panic-policy) — the sweep emits one point per payload size
             .expect("non-empty")
             .payload
     }
@@ -97,7 +99,8 @@ impl Fig02 {
     pub fn best_payload_without_ht(&self) -> u32 {
         self.points
             .iter()
-            .max_by(|a, b| a.no_ht.partial_cmp(&b.no_ht).expect("finite"))
+            .max_by(|a, b| a.no_ht.total_cmp(&b.no_ht))
+            // simlint: allow(panic-policy) — the sweep emits one point per payload size
             .expect("non-empty")
             .payload
     }

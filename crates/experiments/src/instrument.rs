@@ -122,6 +122,7 @@ impl Instrumentation {
             println!("event trace written to {}", path.display());
         }
         if self.metrics {
+            // simlint: allow(panic-policy) — the run above attached a MetricsSink whenever self.metrics is set
             let metrics = report.metrics.as_ref().expect("MetricsSink was attached");
             let total_ns = duration.as_nanos() as f64;
             for (node, m) in &metrics.nodes {

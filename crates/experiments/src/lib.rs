@@ -12,6 +12,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod fig01;
 pub mod fig02;

@@ -1,0 +1,45 @@
+//! Seeded determinism violations. Linted as if it lived in
+//! `crates/sim/src/`.
+
+// VIOLATION: HashMap import.
+use std::collections::HashMap;
+// OK: ordered container.
+use std::collections::BTreeMap;
+
+// VIOLATION: HashSet in a type position.
+pub fn dedupe(xs: &[u32]) -> std::collections::HashSet<u32> {
+    xs.iter().copied().collect()
+}
+
+pub fn stamp() -> u64 {
+    // VIOLATION: wall clock.
+    let t = std::time::Instant::now();
+    // VIOLATION: wall clock.
+    let s = std::time::SystemTime::now();
+    let _ = (t, s);
+    0
+}
+
+pub fn draw() -> u32 {
+    // VIOLATION: thread-local RNG.
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    4
+}
+
+// OK (suppressed): profiling measures wall time by design.
+// simlint: allow(determinism) — profiling-only wall clock, never feeds sim state
+pub fn profiled() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // OK: tests may use anything.
+    use std::collections::HashMap;
+
+    fn t() {
+        let _: HashMap<u32, u32> = HashMap::new();
+        let _ = std::time::Instant::now();
+    }
+}

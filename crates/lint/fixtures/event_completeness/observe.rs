@@ -1,0 +1,27 @@
+//! Seeded event-completeness fixture: the enum declaration. Linted as
+//! if it were `crates/sim/src/observe.rs`.
+
+/// The instrumentation event enum the rule audits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// Emitted by `sim.rs` below — no finding.
+    TxBegin { src: u32, dst: u32 },
+    /// Matched but never constructed — finding.
+    Orphan { node: u32 },
+    /// Unit variant never constructed — finding.
+    BareOrphan,
+    /// Constructed without braces — no finding.
+    BareUsed,
+}
+
+impl SimEvent {
+    /// Exhaustive matches here must not count as emissions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimEvent::TxBegin { .. } => "tx_begin",
+            SimEvent::Orphan { .. } => "orphan",
+            SimEvent::BareOrphan => "bare_orphan",
+            SimEvent::BareUsed => "bare_used",
+        }
+    }
+}

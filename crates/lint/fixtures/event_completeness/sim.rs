@@ -1,0 +1,27 @@
+//! Seeded event-completeness fixture: the emission side.
+
+use super::observe::SimEvent;
+
+pub fn emit(src: u32, dst: u32) -> SimEvent {
+    // Emission: TxBegin is constructed.
+    SimEvent::TxBegin { src, dst }
+}
+
+pub fn emit_bare() -> SimEvent {
+    // Emission: unit variant constructed without braces.
+    SimEvent::BareUsed
+}
+
+pub fn classify(e: &SimEvent) -> u32 {
+    // Patterns must not count as emissions for Orphan / BareOrphan.
+    match e {
+        SimEvent::TxBegin { .. } => 0,
+        SimEvent::Orphan { .. } => 1,
+        SimEvent::BareOrphan => 2,
+        SimEvent::BareUsed => 3,
+    }
+}
+
+pub fn is_orphan(e: &SimEvent) -> bool {
+    matches!(e, SimEvent::Orphan { .. })
+}

@@ -1,0 +1,65 @@
+//! Seeded panic-policy violations. Linted as library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // VIOLATION: unwrap in library code.
+    *xs.first().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    // VIOLATION: expect in library code.
+    *xs.get(1).expect("has two elements")
+}
+
+pub fn boom() {
+    // VIOLATION: panic! in library code.
+    panic!("unconditional");
+}
+
+pub fn later() {
+    // VIOLATION: todo! in library code.
+    todo!()
+}
+
+pub fn guarded(xs: &[u32]) -> u32 {
+    // OK: assertions state invariants and are exempt.
+    assert!(!xs.is_empty(), "caller guarantees non-empty");
+    debug_assert!(xs[0] < 100);
+    xs[0]
+}
+
+pub fn justified(xs: &[u32]) -> u32 {
+    // OK (suppressed): the invariant is stated.
+    // simlint: allow(panic-policy) — caller always passes a non-empty slice
+    *xs.first().expect("non-empty by construction")
+}
+
+pub fn spelled_out() -> Option<u32> {
+    // OK: unwrap_or / unwrap_or_else are not panics.
+    let x: Option<u32> = None;
+    Some(x.unwrap_or(3).max(x.unwrap_or_else(|| 4)))
+}
+
+/// OK: doc examples are comments to the scanner.
+///
+/// ```rust
+/// let v = vec![1];
+/// assert_eq!(*v.first().unwrap(), 1);
+/// ```
+pub fn documented() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tests_may_panic() {
+        panic!("expected");
+    }
+}

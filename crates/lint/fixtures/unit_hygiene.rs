@@ -1,0 +1,46 @@
+//! Seeded unit-hygiene violations: public functions taking raw `f64`
+//! where the parameter name implies a physical unit. Linted as if it
+//! lived in `crates/radio/src/`.
+
+pub struct Dbm(f64);
+
+// VIOLATION: power as raw f64.
+pub fn set_tx_power(power: f64) -> f64 {
+    power
+}
+
+// VIOLATION: *_dbm as raw f64.
+pub fn record_rssi(rssi_dbm: f64) {
+    let _ = rssi_dbm;
+}
+
+// VIOLATION: dist* as raw f64.
+pub fn pathloss_at(distance: f64) -> f64 {
+    distance * 2.0
+}
+
+// TWO VIOLATIONS: sinr and *_db as raw f64.
+pub fn capture_margin(sinr: f64, threshold_db: f64) -> bool {
+    sinr > threshold_db
+}
+
+// OK: typed parameter.
+pub fn typed_power(power: Dbm) -> Dbm {
+    power
+}
+
+// OK: private functions are outside the rule.
+fn internal_power(power: f64) -> f64 {
+    power
+}
+
+// OK: unit-free names may stay raw.
+pub fn with_alpha(alpha: f64, frequency_hz: f64) -> f64 {
+    alpha + frequency_hz
+}
+
+// OK (suppressed): serialization boundary keeps the raw value.
+// simlint: allow(unit-hygiene) — JSON boundary: the wire format carries raw dBm
+pub fn export_dbm(value_dbm: f64) -> f64 {
+    value_dbm
+}

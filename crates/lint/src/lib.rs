@@ -1,0 +1,54 @@
+//! # comap-lint — `simlint`, the CO-MAP workspace linter
+//!
+//! A self-contained, offline static-analysis pass enforcing the project
+//! invariants the Rust compiler cannot see. The vendor tree has no
+//! `syn`, so analysis runs on a hand-rolled token scanner
+//! ([`lexer`]) rather than a full parse — precise enough for the rules
+//! below, and dependency-free so the linter builds even when its lint
+//! subjects do not.
+//!
+//! ## Rules
+//!
+//! | rule | scope | invariant protected |
+//! |------|-------|---------------------|
+//! | `unit-hygiene` | `comap-radio`, `comap-sim` | paper eqs. (1)–(4) are only meaningful with consistent units: public `fn` parameters named like powers/ratios/distances must use the `Dbm`/`Db`/`MilliWatts`/`Meters` newtypes, never raw `f64` |
+//! | `determinism` | `comap-sim`, `comap-mac`, `comap-core` | the bit-determinism guarantee of the power ledger (PR 1) and the non-perturbation guarantee of the observer layer (PR 3): no `HashMap`/`HashSet`, no `Instant::now`/`SystemTime::now`, no `thread_rng` |
+//! | `panic-policy` | all library code | library crates must not abort mid-run: no `.unwrap()`, `.expect(..)`, `panic!`, `todo!` outside `#[cfg(test)]`, tests, benches and binaries (`assert!` and `debug_assert!` remain legal — they state invariants) |
+//! | `event-completeness` | `comap-sim` | every `SimEvent` variant must have ≥ 1 emission (construction) site in the simulator, so the observability schema never silently rots |
+//! | `float-eq` | all library code | `==`/`!=` against float literals is almost always a latent bug in Bianchi-derived math; exact comparisons must be justified |
+//!
+//! ## Suppressions
+//!
+//! Any finding can be silenced at its site with
+//!
+//! ```text
+//! // simlint: allow(<rule>) — <reason>
+//! ```
+//!
+//! on the same line or within the two lines above. The reason is
+//! mandatory; bare or malformed directives are reported as
+//! `bad-suppression`. Whole findings can also be grandfathered in the
+//! checked-in `simlint.baseline` at the workspace root (empty at HEAD —
+//! the tree is clean).
+//!
+//! ## CLI
+//!
+//! ```text
+//! simlint --workspace [--json <path>] [--baseline <path>] [--write-baseline]
+//! ```
+//!
+//! Exit code 0 when no unsuppressed, non-baselined finding remains;
+//! 1 otherwise; 2 on usage or I/O errors. See `scripts/check.sh` and CI
+//! for the gating invocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{lint_files, Finding, LintOutcome, Rule, SourceFile};
+pub use workspace::{collect_sources, discover_workspace, load_source};

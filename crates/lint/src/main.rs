@@ -1,0 +1,171 @@
+//! `simlint` — the CO-MAP workspace linter CLI.
+//!
+//! See the `comap_lint` crate docs for the rule set. This binary is the
+//! CI gate: it exits non-zero whenever an unsuppressed, non-baselined
+//! finding exists anywhere in the workspace's library code.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use comap_lint::report::{
+    apply_baseline, load_baseline, render_baseline, render_human, render_json,
+};
+use comap_lint::workspace::{collect_sources, crate_of, discover_workspace, load_source};
+use comap_lint::{lint_files, SourceFile};
+
+const USAGE: &str = "\
+usage: simlint [options] [paths...]
+
+options:
+  --workspace            lint every library source in the workspace
+  --json <path>          also write a JSON report to <path>
+  --baseline <path>      baseline file (default: <root>/simlint.baseline)
+  --write-baseline       rewrite the baseline from current findings and exit 0
+  --quiet                print only the summary line
+  -h, --help             show this help
+
+exit status: 0 clean, 1 findings, 2 usage or I/O error";
+
+struct Options {
+    workspace: bool,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    quiet: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        json: None,
+        baseline: None,
+        write_baseline: false,
+        quiet: false,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path")?;
+                opts.json = Some(PathBuf::from(path));
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline requires a path")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        return Err("nothing to lint: pass --workspace or explicit paths".to_string());
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let cwd = env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let root = discover_workspace(&cwd)
+        .ok_or("no workspace root (Cargo.toml with [workspace]) above the current directory")?;
+
+    let mut files: Vec<SourceFile> = Vec::new();
+    if opts.workspace {
+        files = collect_sources(&root).map_err(|e| format!("walking workspace: {e}"))?;
+    }
+    for path in &opts.paths {
+        let abs = if path.is_absolute() {
+            path.clone()
+        } else {
+            cwd.join(path)
+        };
+        let rel_guess = abs
+            .strip_prefix(&root)
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .unwrap_or_else(|_| abs.to_string_lossy().to_string());
+        let file = load_source(&root, &abs, &crate_of(&rel_guess))
+            .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        files.push(file);
+    }
+
+    let mut outcome = lint_files(&files);
+
+    if opts.write_baseline {
+        let path = opts
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join("simlint.baseline"));
+        fs::write(&path, render_baseline(&outcome.findings))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "simlint: wrote {} finding(s) to {}",
+            outcome.findings.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("simlint.baseline"));
+    let baseline = if baseline_path.is_file() {
+        load_baseline(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?
+    } else {
+        Vec::new()
+    };
+    let baselined = apply_baseline(&mut outcome, &baseline);
+
+    if let Some(json_path) = &opts.json {
+        if let Some(parent) = json_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = fs::create_dir_all(parent);
+            }
+        }
+        fs::write(json_path, render_json(&outcome, baselined))
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+
+    let text = render_human(&outcome, baselined);
+    if opts.quiet {
+        if let Some(summary) = text.lines().last() {
+            println!("{summary}");
+        }
+    } else {
+        print!("{text}");
+    }
+    Ok(outcome.findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("simlint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

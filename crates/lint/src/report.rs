@@ -1,0 +1,171 @@
+//! Finding output: human-readable text, a machine-readable JSON report
+//! (following the hand-rolled conventions of `crates/sim/src/json.rs` —
+//! ordered keys, exact unsigned integers, escaped strings), and the
+//! checked-in baseline of grandfathered findings.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::{Finding, LintOutcome};
+
+/// Renders findings for terminals: `path:line: [rule] message` plus the
+/// offending source line.
+pub fn render_human(outcome: &LintOutcome, baselined: usize) -> String {
+    let mut out = String::new();
+    for f in &outcome.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}] {}",
+            f.file,
+            f.line,
+            f.rule.name(),
+            f.message
+        );
+        if !f.snippet.is_empty() {
+            let _ = writeln!(out, "    {}", f.snippet);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "simlint: {} finding(s), {} suppressed, {} baselined, {} file(s) scanned",
+        outcome.findings.len(),
+        outcome.suppressed,
+        baselined,
+        outcome.files_scanned
+    );
+    out
+}
+
+/// Escapes a string for JSON output (same subset as the sim crate's
+/// hand-rolled writer: control characters, quotes and backslashes).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the outcome as a JSON report object.
+pub fn render_json(outcome: &LintOutcome, baselined: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":1,");
+    let _ = write!(out, "\"files_scanned\":{},", outcome.files_scanned);
+    let _ = write!(out, "\"suppressed\":{},", outcome.suppressed);
+    let _ = write!(out, "\"baselined\":{baselined},");
+    let _ = write!(out, "\"findings\":[");
+    for (i, f) in outcome.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            f.rule.name(),
+            escape_json(&f.file),
+            f.line,
+            escape_json(&f.message),
+            escape_json(&f.snippet)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Loads the baseline file: one grandfathered finding key per line
+/// (see [`Finding::baseline_key`]); `#` lines and blanks are ignored.
+pub fn load_baseline(path: &Path) -> io::Result<Vec<String>> {
+    let text = fs::read_to_string(path)?;
+    Ok(text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Serializes findings as baseline content.
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# simlint baseline — grandfathered findings, one per line:\n\
+         # <rule>\\t<file>\\t<normalized source line>\n\
+         # Regenerate with `simlint --workspace --write-baseline`.\n",
+    );
+    for f in findings {
+        let _ = writeln!(out, "{}", f.baseline_key());
+    }
+    out
+}
+
+/// Splits an outcome's findings into (kept, baselined-count) against a
+/// loaded baseline.
+pub fn apply_baseline(outcome: &mut LintOutcome, baseline: &[String]) -> usize {
+    let before = outcome.findings.len();
+    outcome
+        .findings
+        .retain(|f| !baseline.iter().any(|k| *k == f.baseline_key()));
+    before - outcome.findings.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn sample() -> LintOutcome {
+        LintOutcome {
+            findings: vec![Finding {
+                rule: Rule::FloatEq,
+                file: "crates/sim/src/x.rs".to_string(),
+                line: 7,
+                message: "`==` against a float literal".to_string(),
+                snippet: "if x == 0.0 {".to_string(),
+            }],
+            suppressed: 2,
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let json = render_json(&sample(), 1);
+        assert!(json.starts_with("{\"version\":1,"));
+        assert!(json.contains("\"rule\":\"float-eq\""));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("\"baselined\":1"));
+    }
+
+    #[test]
+    fn baseline_round_trip_suppresses() {
+        let mut outcome = sample();
+        let content = render_baseline(&outcome.findings);
+        let keys: Vec<String> = content
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .map(str::to_string)
+            .collect();
+        assert_eq!(keys.len(), 1);
+        let baselined = apply_baseline(&mut outcome, &keys);
+        assert_eq!(baselined, 1);
+        assert!(outcome.findings.is_empty());
+    }
+
+    #[test]
+    fn human_rendering_mentions_rule_and_line() {
+        let text = render_human(&sample(), 0);
+        assert!(text.contains("crates/sim/src/x.rs:7: [float-eq]"));
+        assert!(text.contains("1 finding(s), 2 suppressed"));
+    }
+}

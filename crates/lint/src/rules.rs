@@ -1,0 +1,687 @@
+//! The simlint rules.
+//!
+//! Each rule is a pure function from lexed source to [`Finding`]s. Rules
+//! are scoped per crate (see [`crate::rules`] items for the scoping
+//! table) and every finding can be suppressed with a
+//! `// simlint: allow(<rule>) — <reason>` comment on the same line or
+//! within the two lines above it. The suppression *requires* a reason —
+//! a bare `allow` is itself reported via [`Rule::BadSuppression`].
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// The named rules simlint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Public functions in the physics crates must take unit newtypes,
+    /// not raw `f64`, for power/ratio/distance parameters.
+    UnitHygiene,
+    /// No unordered containers, wall clocks or thread-local RNG in the
+    /// deterministic simulation crates.
+    Determinism,
+    /// No `unwrap()`/`expect()`/`panic!`/`todo!` in library code.
+    PanicPolicy,
+    /// Every `SimEvent` variant must have an emission site.
+    EventCompleteness,
+    /// No `==`/`!=` against floating-point literals.
+    FloatEq,
+    /// A `simlint:` directive that is malformed, names an unknown rule,
+    /// or omits its justification.
+    BadSuppression,
+}
+
+impl Rule {
+    /// The stable kebab-case rule name used in findings, suppression
+    /// comments and the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnitHygiene => "unit-hygiene",
+            Rule::Determinism => "determinism",
+            Rule::PanicPolicy => "panic-policy",
+            Rule::EventCompleteness => "event-completeness",
+            Rule::FloatEq => "float-eq",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    /// Parses a rule from its [`Rule::name`] form.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Some(match name {
+            "unit-hygiene" => Rule::UnitHygiene,
+            "determinism" => Rule::Determinism,
+            "panic-policy" => Rule::PanicPolicy,
+            "event-completeness" => Rule::EventCompleteness,
+            "float-eq" => Rule::FloatEq,
+            "bad-suppression" => Rule::BadSuppression,
+            _ => return None,
+        })
+    }
+
+    /// Every suppressible rule, in reporting order.
+    pub const ALL: [Rule; 6] = [
+        Rule::UnitHygiene,
+        Rule::Determinism,
+        Rule::PanicPolicy,
+        Rule::EventCompleteness,
+        Rule::FloatEq,
+        Rule::BadSuppression,
+    ];
+}
+
+/// One source file to lint.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (used in findings
+    /// and the baseline).
+    pub rel_path: String,
+    /// Short crate name (`radio`, `mac`, `core`, `sim`, `experiments`,
+    /// `lint`, `comap`) controlling which rules apply.
+    pub crate_name: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// The trimmed source line, for context and baseline keying.
+    pub snippet: String,
+}
+
+impl Finding {
+    /// The baseline key: rule, file and whitespace-normalized snippet.
+    /// Line numbers are deliberately excluded so unrelated edits above a
+    /// grandfathered finding do not invalidate the baseline.
+    pub fn baseline_key(&self) -> String {
+        let normalized: Vec<&str> = self.snippet.split_whitespace().collect();
+        format!(
+            "{}\t{}\t{}",
+            self.rule.name(),
+            self.file,
+            normalized.join(" ")
+        )
+    }
+}
+
+/// Aggregate result of linting a file set.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Findings that were not suppressed, sorted by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by `simlint: allow` comments.
+    pub suppressed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Crates whose public functions the unit-hygiene rule covers.
+const UNIT_HYGIENE_CRATES: [&str; 2] = ["radio", "sim"];
+/// Crates that must stay bit-deterministic.
+const DETERMINISM_CRATES: [&str; 3] = ["sim", "mac", "core"];
+/// The crate holding the `SimEvent` enum and its emission sites.
+const EVENT_CRATE: &str = "sim";
+/// The enum whose variants event-completeness audits.
+const EVENT_ENUM: &str = "SimEvent";
+
+/// Lints a set of library source files and applies suppressions.
+pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
+    let mut outcome = LintOutcome {
+        files_scanned: files.len(),
+        ..LintOutcome::default()
+    };
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut decl: Option<EventDecl> = None;
+    let mut constructed: Vec<String> = Vec::new();
+
+    let mut lexed_files: Vec<(usize, Lexed)> = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        lexed_files.push((idx, lex(&file.text)));
+    }
+
+    for (idx, lexed) in &lexed_files {
+        let file = &files[*idx];
+        check_panic_policy(file, lexed, &mut raw);
+        if DETERMINISM_CRATES.contains(&file.crate_name.as_str()) {
+            check_determinism(file, lexed, &mut raw);
+        }
+        check_float_eq(file, lexed, &mut raw);
+        if UNIT_HYGIENE_CRATES.contains(&file.crate_name.as_str()) {
+            check_unit_hygiene(file, lexed, &mut raw);
+        }
+        check_directives(file, lexed, &mut raw);
+        if file.crate_name == EVENT_CRATE {
+            match find_event_decl(file, lexed) {
+                Some(d) => decl = Some(d),
+                None => collect_event_constructions(lexed, &mut constructed),
+            }
+        }
+    }
+
+    if let Some(decl) = decl {
+        for (variant, line, snippet) in &decl.variants {
+            if !constructed.iter().any(|v| v == variant) {
+                raw.push(Finding {
+                    rule: Rule::EventCompleteness,
+                    file: decl.file.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{EVENT_ENUM}::{variant}` is declared but never emitted by the simulator"
+                    ),
+                    snippet: snippet.clone(),
+                });
+            }
+        }
+    }
+
+    // Apply suppressions: a well-formed, justified directive for the
+    // finding's rule on the finding's line or up to two lines above.
+    for finding in raw {
+        let lexed = lexed_files
+            .iter()
+            .find(|(idx, _)| files[*idx].rel_path == finding.file)
+            .map(|(_, l)| l);
+        let suppressed = finding.rule != Rule::BadSuppression
+            && lexed.is_some_and(|l| {
+                l.directives.iter().any(|d| {
+                    d.well_formed
+                        && d.has_reason
+                        && d.rule == finding.rule.name()
+                        && d.line <= finding.line
+                        && finding.line - d.line <= 2
+                })
+            });
+        if suppressed {
+            outcome.suppressed += 1;
+        } else {
+            outcome.findings.push(finding);
+        }
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    outcome
+}
+
+/// The trimmed source line `line` (1-based) of `file`.
+fn snippet_at(file: &SourceFile, line: u32) -> String {
+    file.text
+        .lines()
+        .nth(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+fn push(file: &SourceFile, rule: Rule, line: u32, message: String, out: &mut Vec<Finding>) {
+    out.push(Finding {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        snippet: snippet_at(file, line),
+    });
+}
+
+/// panic-policy: `.unwrap()`, `.expect(`, `panic!`, `todo!` outside
+/// `#[cfg(test)]` regions. `assert!`/`debug_assert!`/`unreachable!` are
+/// deliberately exempt — they state invariants rather than skip error
+/// handling.
+fn check_panic_policy(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        let call = match t.text.as_str() {
+            "unwrap" if prev_dot && next_paren => Some("`.unwrap()`"),
+            "expect" if prev_dot && next_paren => Some("`.expect(..)`"),
+            "panic" if next_bang => Some("`panic!`"),
+            "todo" if next_bang => Some("`todo!`"),
+            _ => None,
+        };
+        if let Some(call) = call {
+            push(
+                file,
+                Rule::PanicPolicy,
+                t.line,
+                format!(
+                    "{call} in library code — return a typed error (e.g. via comap-core::error) \
+                     or justify the invariant with `simlint: allow(panic-policy)`"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// determinism: unordered containers, wall clocks and thread-local RNG
+/// are banned from the crates whose runs must be bit-reproducible.
+fn check_determinism(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let clock_now = |name: &str| {
+            t.is_ident(name)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        };
+        let message = if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            Some(format!(
+                "`{}` has a non-deterministic iteration order — use BTreeMap/BTreeSet \
+                 or an index-keyed slab",
+                t.text
+            ))
+        } else if clock_now("Instant") || clock_now("SystemTime") {
+            Some(format!(
+                "`{}::now()` reads the wall clock inside a deterministic simulation crate",
+                t.text
+            ))
+        } else if t.is_ident("thread_rng") {
+            Some("`thread_rng()` is thread-local and unseeded — thread the simulation RNG through instead".to_string())
+        } else {
+            None
+        };
+        if let Some(message) = message {
+            push(file, Rule::Determinism, t.line, message, out);
+        }
+    }
+}
+
+/// float-eq: `==`/`!=` where either operand is a float literal.
+fn check_float_eq(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test[i] || !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let float_prev = i > 0 && toks[i - 1].kind == TokKind::Float;
+        let float_next = toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Float);
+        if float_prev || float_next {
+            push(
+                file,
+                Rule::FloatEq,
+                t.line,
+                format!(
+                    "`{}` against a float literal — compare with a tolerance, use a \
+                     total-order comparison, or justify exactness with `simlint: allow(float-eq)`",
+                    t.text
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Maps a suspicious parameter name to the newtype it should use.
+fn unit_suggestion(name: &str) -> Option<&'static str> {
+    if name == "dbm" || name.ends_with("_dbm") {
+        Some("comap_radio::units::Dbm")
+    } else if name == "db" || name.ends_with("_db") {
+        Some("comap_radio::units::Db")
+    } else if name == "mw" || name.ends_with("_mw") || name.contains("power") {
+        Some("comap_radio::units::MilliWatts (or Dbm)")
+    } else if name == "loss" || name.ends_with("_loss") {
+        Some("comap_radio::units::Db")
+    } else if name.starts_with("dist") || name.ends_with("_dist") {
+        Some("comap_radio::units::Meters")
+    } else if name == "sir" || name == "sinr" || name.ends_with("_sir") || name.ends_with("_sinr") {
+        Some("comap_radio::units::Db")
+    } else {
+        None
+    }
+}
+
+/// unit-hygiene: `pub fn` parameters whose names imply a physical unit
+/// must not be raw `f64`.
+fn check_unit_hygiene(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if lexed.in_test[i] || !(toks[i].is_ident("pub") && toks[i + 1].is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 3; // past `pub fn name`
+                           // Skip generic parameters.
+        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+            let mut depth = 0i32;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                j += 1;
+                if depth <= 0 {
+                    break;
+                }
+            }
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+            i += 1;
+            continue;
+        }
+        // Collect the parameter list tokens up to the matching `)`.
+        let open = j;
+        let mut depth = 0i32;
+        let mut close = open;
+        while close < toks.len() {
+            if toks[close].is_punct("(") {
+                depth += 1;
+            } else if toks[close].is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        check_params(file, &toks[open + 1..close], out);
+        i = close + 1;
+    }
+}
+
+/// Checks one parameter list (tokens between the signature parens).
+fn check_params(file: &SourceFile, params: &[Token], out: &mut Vec<Finding>) {
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut segments: Vec<&[Token]> = Vec::new();
+    for (k, t) in params.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "," if depth == 0 => {
+                segments.push(&params[start..k]);
+                start = k + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        segments.push(&params[start..]);
+    }
+    for seg in segments {
+        // The first top-level `:` separates pattern from type (`::` is a
+        // single distinct token, so paths cannot confuse this).
+        let Some(colon) = seg.iter().position(|t| t.is_punct(":")) else {
+            continue;
+        };
+        let name = seg[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut");
+        let Some(name) = name else { continue };
+        if name.text == "self" {
+            continue;
+        }
+        let ty = &seg[colon + 1..];
+        let is_raw_f64 = ty.len() == 1 && ty[0].is_ident("f64");
+        if !is_raw_f64 {
+            continue;
+        }
+        if let Some(suggestion) = unit_suggestion(&name.text) {
+            push(
+                file,
+                Rule::UnitHygiene,
+                name.line,
+                format!(
+                    "public parameter `{}: f64` carries a physical unit — take `{}` instead",
+                    name.text, suggestion
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// bad-suppression: every `simlint:` comment must be a well-formed
+/// `allow(<known-rule>)` with a justification.
+fn check_directives(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    for d in &lexed.directives {
+        let message = if !d.well_formed {
+            Some(
+                "malformed `simlint:` directive — expected `simlint: allow(<rule>) — <reason>`"
+                    .to_string(),
+            )
+        } else if Rule::from_name(&d.rule).is_none() {
+            Some(format!(
+                "`simlint: allow({})` names an unknown rule",
+                d.rule
+            ))
+        } else if !d.has_reason {
+            Some(format!(
+                "`simlint: allow({})` without a justification — state the invariant that makes this safe",
+                d.rule
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = message {
+            push(file, Rule::BadSuppression, d.line, message, out);
+        }
+    }
+}
+
+/// The parsed `SimEvent` declaration.
+#[derive(Debug)]
+struct EventDecl {
+    file: String,
+    /// `(variant, line, snippet)` triples.
+    variants: Vec<(String, u32, String)>,
+}
+
+/// Finds and parses `enum SimEvent { ... }` in `file`, if declared here.
+fn find_event_decl(file: &SourceFile, lexed: &Lexed) -> Option<EventDecl> {
+    let toks = &lexed.tokens;
+    let mut at = None;
+    for i in 0..toks.len() {
+        if toks[i].is_ident("enum")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident(EVENT_ENUM))
+            && !lexed.in_test[i]
+        {
+            at = Some(i);
+            break;
+        }
+    }
+    let start = at?;
+    let mut j = start + 2;
+    while j < toks.len() && !toks[j].is_punct("{") {
+        j += 1;
+    }
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+            // A variant name is the ident at depth 1 opening its own
+            // field block or listed bare before `,`.
+            j += 1;
+            continue;
+        }
+        if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            j += 1;
+            continue;
+        }
+        if depth == 1 && t.kind == TokKind::Ident && starts_uppercase(&t.text) {
+            // Skip attribute contents (`#[...]` was consumed via depth).
+            let next = toks.get(j + 1);
+            let is_variant = matches!(
+                next,
+                Some(n) if n.is_punct("{") || n.is_punct("(") || n.is_punct(",") || n.is_punct("}")
+            );
+            if is_variant {
+                variants.push((t.text.clone(), t.line, snippet_at(file, t.line)));
+            }
+        }
+        j += 1;
+    }
+    if variants.is_empty() {
+        None
+    } else {
+        Some(EventDecl {
+            file: file.rel_path.clone(),
+            variants,
+        })
+    }
+}
+
+fn starts_uppercase(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+/// Collects `SimEvent::Variant` *construction* sites (match arms and
+/// other patterns do not count as emissions).
+fn collect_event_constructions(lexed: &Lexed, out: &mut Vec<String>) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if lexed.in_test[i]
+            || !toks[i].is_ident(EVENT_ENUM)
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct("::"))
+        {
+            continue;
+        }
+        let Some(variant) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let mut j = i + 3;
+        let mut wildcard_body = false;
+        if toks
+            .get(j)
+            .is_some_and(|t| t.is_punct("{") || t.is_punct("("))
+        {
+            let open = j;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct("{") || t.is_punct("(") {
+                    depth += 1;
+                } else if t.is_punct("}") || t.is_punct(")") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            // `Variant { .. }` is always a pattern.
+            wildcard_body = j == open + 2 && toks.get(open + 1).is_some_and(|t| t.is_punct(".."));
+            j += 1;
+        }
+        let next = toks.get(j);
+        let is_pattern = wildcard_body
+            || matches!(next, Some(n) if n.is_punct("=>") || n.is_punct("|") || n.is_punct("="));
+        if !is_pattern {
+            out.push(variant.text.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(crate_name: &str, rel: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    fn rules_of(outcome: &LintOutcome) -> Vec<(Rule, u32)> {
+        outcome.findings.iter().map(|f| (f.rule, f.line)).collect()
+    }
+
+    #[test]
+    fn panic_policy_flags_and_suppresses() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   // simlint: allow(panic-policy) — invariant: y is always present\n\
+                   fn b() { y.expect(\"present\"); }\n";
+        let out = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
+        assert_eq!(rules_of(&out), vec![(Rule::PanicPolicy, 1)]);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn determinism_scoped_to_sim_mac_core() {
+        let src = "use std::collections::HashMap;\n";
+        let flagged = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(rules_of(&flagged), vec![(Rule::Determinism, 1)]);
+        let unflagged = lint_files(&[file("experiments", "crates/experiments/src/x.rs", src)]);
+        assert!(unflagged.findings.is_empty());
+    }
+
+    #[test]
+    fn float_eq_needs_float_literal() {
+        let src = "fn f(x: f64, n: u32) { if x == 0.0 {} if n == 0 {} }\n";
+        let out = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
+        assert_eq!(rules_of(&out), vec![(Rule::FloatEq, 1)]);
+    }
+
+    #[test]
+    fn unit_hygiene_flags_public_f64_units_only() {
+        let src = "pub fn set(power: f64) {}\n\
+                   fn internal(power: f64) {}\n\
+                   pub fn typed(power: Dbm) {}\n\
+                   pub fn unrelated(alpha: f64) {}\n";
+        let out = lint_files(&[file("radio", "crates/radio/src/x.rs", src)]);
+        assert_eq!(rules_of(&out), vec![(Rule::UnitHygiene, 1)]);
+    }
+
+    #[test]
+    fn event_completeness_counts_constructions_not_patterns() {
+        let decl = "pub enum SimEvent {\n    Used { n: u32 },\n    Orphan { n: u32 },\n    BareOrphan,\n}\n";
+        let emit = "fn e() -> SimEvent { SimEvent::Used { n: 0 } }\n\
+                    fn m(e: &SimEvent) -> u32 { match e { SimEvent::Orphan { .. } => 1, _ => 0 } }\n";
+        let out = lint_files(&[
+            file("sim", "crates/sim/src/observe.rs", decl),
+            file("sim", "crates/sim/src/mac.rs", emit),
+        ]);
+        let names: Vec<&str> = out
+            .findings
+            .iter()
+            .map(|f| f.message.split('`').nth(1).unwrap_or(""))
+            .collect();
+        assert_eq!(names, vec!["SimEvent::Orphan", "SimEvent::BareOrphan"]);
+    }
+
+    #[test]
+    fn bad_suppressions_are_reported() {
+        let src = "// simlint: allow(no-such-rule) — reason text\n\
+                   // simlint: allow(float-eq)\n\
+                   // simlint: deny(everything)\n";
+        let out = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
+        assert_eq!(
+            rules_of(&out),
+            vec![
+                (Rule::BadSuppression, 1),
+                (Rule::BadSuppression, 2),
+                (Rule::BadSuppression, 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); assert!(1.0 == 1.0); }\n}\n";
+        let out = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
+        assert!(out.findings.is_empty(), "{:?}", out.findings);
+    }
+}

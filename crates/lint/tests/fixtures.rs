@@ -1,0 +1,183 @@
+//! Every simlint rule must catch its seeded-violation fixture — and
+//! nothing else in it. These tests pin the exact set of (rule, line)
+//! pairs each fixture produces, so a lexer or rule regression that
+//! silently stops detecting a class of violation fails loudly.
+
+use comap_lint::{lint_files, Rule, SourceFile};
+
+fn fixture(crate_name: &str, rel_path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        text: text.to_string(),
+    }
+}
+
+/// `(rule, line)` pairs of all findings, sorted.
+fn findings(files: &[SourceFile]) -> Vec<(Rule, u32)> {
+    let outcome = lint_files(files);
+    outcome.findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+fn lines_for(files: &[SourceFile], rule: Rule) -> Vec<u32> {
+    findings(files)
+        .into_iter()
+        .filter(|(r, _)| *r == rule)
+        .map(|(_, l)| l)
+        .collect()
+}
+
+fn line_of(text: &str, needle: &str) -> u32 {
+    for (i, l) in text.lines().enumerate() {
+        if l.contains(needle) {
+            return (i + 1) as u32;
+        }
+    }
+    panic!("fixture lost its marker: {needle}");
+}
+
+#[test]
+fn unit_hygiene_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/unit_hygiene.rs");
+    let files = [fixture("radio", "crates/radio/src/unit_hygiene.rs", text)];
+    let expected = vec![
+        line_of(text, "pub fn set_tx_power"),
+        line_of(text, "pub fn record_rssi"),
+        line_of(text, "pub fn pathloss_at"),
+        line_of(text, "pub fn capture_margin"),
+        line_of(text, "pub fn capture_margin"), // sinr and threshold_db
+    ];
+    assert_eq!(lines_for(&files, Rule::UnitHygiene), expected);
+    // Nothing but unit-hygiene fires on this fixture.
+    assert!(findings(&files)
+        .iter()
+        .all(|(r, _)| *r == Rule::UnitHygiene));
+    // The same file outside the physics crates is clean.
+    assert!(findings(&[fixture(
+        "experiments",
+        "crates/experiments/src/unit_hygiene.rs",
+        text
+    )])
+    .is_empty());
+}
+
+#[test]
+fn determinism_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/determinism.rs");
+    let files = [fixture("sim", "crates/sim/src/determinism.rs", text)];
+    let expected = vec![
+        line_of(text, "use std::collections::HashMap;"),
+        line_of(text, "pub fn dedupe"),
+        line_of(text, "let t = std::time::Instant::now();"),
+        line_of(text, "let s = std::time::SystemTime::now();"),
+        line_of(text, "let mut rng = rand::thread_rng();"),
+    ];
+    assert_eq!(lines_for(&files, Rule::Determinism), expected);
+    assert_eq!(lint_files(&files).suppressed, 1, "profiled() is suppressed");
+    // mac and core are also in scope...
+    assert_eq!(
+        lines_for(
+            &[fixture("mac", "crates/mac/src/determinism.rs", text)],
+            Rule::Determinism
+        )
+        .len(),
+        5
+    );
+    // ...but the experiments crate is not.
+    assert!(lines_for(
+        &[fixture(
+            "experiments",
+            "crates/experiments/src/determinism.rs",
+            text
+        )],
+        Rule::Determinism
+    )
+    .is_empty());
+}
+
+#[test]
+fn panic_policy_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/panic_policy.rs");
+    let files = [fixture("core", "crates/core/src/panic_policy.rs", text)];
+    let expected = vec![
+        line_of(text, "*xs.first().unwrap()"),
+        line_of(text, "*xs.get(1).expect(\"has two elements\")"),
+        line_of(text, "panic!(\"unconditional\");"),
+        line_of(text, "todo!()"),
+    ];
+    assert_eq!(lines_for(&files, Rule::PanicPolicy), expected);
+    assert_eq!(
+        lint_files(&files).suppressed,
+        1,
+        "justified() is suppressed"
+    );
+    assert!(findings(&files)
+        .iter()
+        .all(|(r, _)| *r == Rule::PanicPolicy));
+}
+
+#[test]
+fn float_eq_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/float_eq.rs");
+    let files = [fixture("core", "crates/core/src/float_eq.rs", text)];
+    let expected = vec![
+        line_of(text, "let a = x == 0.0;"),
+        line_of(text, "let b = 1.5 != x;"),
+        line_of(text, "let c = x == 1e-9;"),
+    ];
+    assert_eq!(lines_for(&files, Rule::FloatEq), expected);
+    assert_eq!(lint_files(&files).suppressed, 1, "sentinel g is suppressed");
+}
+
+#[test]
+fn event_completeness_fixture_is_fully_detected() {
+    let observe = include_str!("../fixtures/event_completeness/observe.rs");
+    let sim = include_str!("../fixtures/event_completeness/sim.rs");
+    let files = [
+        fixture("sim", "crates/sim/src/observe.rs", observe),
+        fixture("sim", "crates/sim/src/sim.rs", sim),
+    ];
+    let expected = vec![
+        line_of(observe, "Orphan { node: u32 },"),
+        line_of(observe, "BareOrphan,"),
+    ];
+    assert_eq!(lines_for(&files, Rule::EventCompleteness), expected);
+    let outcome = lint_files(&files);
+    let messages: Vec<&str> = outcome
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(messages[0].contains("SimEvent::Orphan"), "{messages:?}");
+    assert!(messages[1].contains("SimEvent::BareOrphan"), "{messages:?}");
+}
+
+#[test]
+fn suppression_without_reason_is_itself_a_finding() {
+    let text = "// simlint: allow(panic-policy)\nfn f() { x.unwrap(); }\n";
+    let files = [fixture("core", "crates/core/src/x.rs", text)];
+    let got = findings(&files);
+    // The bare allow does NOT silence the finding, and is reported.
+    assert_eq!(got, vec![(Rule::BadSuppression, 1), (Rule::PanicPolicy, 2)]);
+}
+
+#[test]
+fn baseline_key_is_line_number_independent() {
+    let a = fixture("core", "crates/core/src/x.rs", "fn f() { x.unwrap(); }\n");
+    let b = fixture(
+        "core",
+        "crates/core/src/x.rs",
+        "// moved down by an edit\n\nfn f() { x.unwrap(); }\n",
+    );
+    let ka: Vec<String> = lint_files(&[a])
+        .findings
+        .iter()
+        .map(|f| f.baseline_key())
+        .collect();
+    let kb: Vec<String> = lint_files(&[b])
+        .findings
+        .iter()
+        .map(|f| f.baseline_key())
+        .collect();
+    assert_eq!(ka, kb);
+}

@@ -1,0 +1,64 @@
+//! The acceptance gate from the issue: `simlint --workspace` must exit
+//! 0 on this tree with an empty baseline. This test runs the same scan
+//! the binary runs, so `cargo test` alone catches a regression even if
+//! CI's dedicated simlint step is skipped.
+
+use std::path::PathBuf;
+
+use comap_lint::{collect_sources, lint_files};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_with_empty_baseline() {
+    let root = workspace_root();
+    let files = collect_sources(&root).expect("workspace sources readable");
+    assert!(
+        files.len() > 20,
+        "workspace walk found only {} sources under {} — walker broken?",
+        files.len(),
+        root.display()
+    );
+    let outcome = lint_files(&files);
+    let rendered: Vec<String> = outcome
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message))
+        .collect();
+    assert!(
+        outcome.findings.is_empty(),
+        "workspace must lint clean with an empty baseline; findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_covers_every_library_crate() {
+    let root = workspace_root();
+    let files = collect_sources(&root).expect("workspace sources readable");
+    let joined = files
+        .iter()
+        .map(|f| f.rel_path.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    for needle in [
+        "crates/radio/src/lib.rs",
+        "crates/mac/src/lib.rs",
+        "crates/core/src/lib.rs",
+        "crates/sim/src/lib.rs",
+        "crates/experiments/src/lib.rs",
+        "crates/lint/src/lib.rs",
+    ] {
+        assert!(joined.contains(needle), "walker missed {needle}");
+    }
+    // Vendored code and binaries are out of scope.
+    assert!(!joined.contains("vendor/"), "walker must skip vendor/");
+    assert!(!joined.contains("main.rs"), "walker must skip binaries");
+}

@@ -13,11 +13,26 @@
 //! *when* to send and how long `t_ACKwait` is.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 /// A link-layer sequence number.
 pub type Seq = u64;
+
+/// Error returned when an operation names a sequence number that is not
+/// currently in the send window (never enqueued, already delivered, or
+/// abandoned past the retry limit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownSeq(pub Seq);
+
+impl fmt::Display for UnknownSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sequence {} not in send window", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSeq {}
 
 /// A selective-repeat acknowledgment: everything below `base` has been
 /// received, plus the frames flagged in `bitmap` (bit `i` ⇔ `base + i`).
@@ -59,8 +74,8 @@ struct SendEntry {
 /// let s0 = tx.enqueue(500).unwrap();
 /// let s1 = tx.enqueue(500).unwrap();
 /// // s0 is lost, s1 arrives:
-/// tx.mark_sent(s0);
-/// tx.mark_sent(s1);
+/// tx.mark_sent(s0).unwrap();
+/// tx.mark_sent(s1).unwrap();
 /// assert!(rx.on_frame(s1));
 /// tx.on_ack(rx.ack());
 /// // Only s0 still needs (re)sending.
@@ -149,16 +164,17 @@ impl SelectiveRepeatSender {
 
     /// Records that `seq` went on the air once.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seq` is not in the window.
-    pub fn mark_sent(&mut self, seq: Seq) {
+    /// Returns [`UnknownSeq`] if `seq` is not in the window.
+    pub fn mark_sent(&mut self, seq: Seq) -> Result<(), UnknownSeq> {
         let entry = self
             .window
             .iter_mut()
             .find(|e| e.seq == seq)
-            .unwrap_or_else(|| panic!("sequence {seq} not in send window"));
+            .ok_or(UnknownSeq(seq))?;
         entry.attempts += 1;
+        Ok(())
     }
 
     /// Applies an ACK, marking in-window frames delivered and sliding the
@@ -262,7 +278,7 @@ mod tests {
         let mut rx = SelectiveRepeatReceiver::new();
         for _ in 0..4 {
             let seq = tx.enqueue(100).unwrap();
-            tx.mark_sent(seq);
+            tx.mark_sent(seq).unwrap();
             assert!(rx.on_frame(seq));
             tx.on_ack(rx.ack());
         }
@@ -285,9 +301,9 @@ mod tests {
         let mut rx = SelectiveRepeatReceiver::new();
         let s: Vec<Seq> = (0..3).map(|_| tx.enqueue(100).unwrap()).collect();
         // s0 lost; s1, s2 arrive.
-        tx.mark_sent(s[0]);
-        tx.mark_sent(s[1]);
-        tx.mark_sent(s[2]);
+        tx.mark_sent(s[0]).unwrap();
+        tx.mark_sent(s[1]).unwrap();
+        tx.mark_sent(s[2]).unwrap();
         assert!(rx.on_frame(s[1]));
         assert!(rx.on_frame(s[2]));
         let ack = rx.ack();
@@ -298,7 +314,7 @@ mod tests {
         assert!(tx.window_swept());
         assert_eq!(tx.next_to_send(), Some(s[0]));
         // Retransmission succeeds.
-        tx.mark_sent(s[0]);
+        tx.mark_sent(s[0]).unwrap();
         assert!(rx.on_frame(s[0]));
         tx.on_ack(rx.ack());
         assert_eq!(tx.delivered(), 3);
@@ -310,12 +326,12 @@ mod tests {
         let mut tx = SelectiveRepeatSender::new(3);
         let s: Vec<Seq> = (0..3).map(|_| tx.enqueue(100).unwrap()).collect();
         assert_eq!(tx.next_to_send(), Some(s[0]));
-        tx.mark_sent(s[0]);
+        tx.mark_sent(s[0]).unwrap();
         // Even with s0 unacked, the sweep continues to s1 and s2 first.
         assert_eq!(tx.next_to_send(), Some(s[1]));
-        tx.mark_sent(s[1]);
+        tx.mark_sent(s[1]).unwrap();
         assert_eq!(tx.next_to_send(), Some(s[2]));
-        tx.mark_sent(s[2]);
+        tx.mark_sent(s[2]).unwrap();
         // Now the retransmission pass starts at the oldest unacked.
         assert_eq!(tx.next_to_send(), Some(s[0]));
     }
@@ -357,10 +373,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in send window")]
-    fn marking_unknown_seq_panics() {
+    fn marking_unknown_seq_is_an_error() {
         let mut tx = SelectiveRepeatSender::new(2);
-        tx.mark_sent(99);
+        assert_eq!(tx.mark_sent(99), Err(UnknownSeq(99)));
+        assert_eq!(UnknownSeq(99).to_string(), "sequence 99 not in send window");
     }
 
     #[test]

@@ -35,7 +35,7 @@ proptest! {
                 continue;
             };
             let (lose_data, lose_ack) = loss_iter.next().unwrap();
-            tx.mark_sent(seq);
+            tx.mark_sent(seq).unwrap();
             if !lose_data {
                 if rx.on_frame(seq) {
                     unique_rx += 1;

@@ -54,7 +54,8 @@ impl Position {
     /// Sampling is area-uniform (radius ∝ √u), so errors are not biased
     /// toward the center.
     pub fn with_error<R: Rng + ?Sized>(self, radius: Meters, rng: &mut R) -> Position {
-        if radius.value() == 0.0 {
+        // An error radius is non-negative; zero means exact positions.
+        if radius.value() <= 0.0 {
             return self;
         }
         let r = radius.value() * rng.gen::<f64>().sqrt();

@@ -79,7 +79,8 @@ impl ReceptionModel {
         let r = r.max(self.channel.reference_distance());
         let sigma = self.channel.sigma().value();
         let arg = self.t_sir.value() + 10.0 * self.channel.alpha() * (d / r).log10();
-        if sigma == 0.0 {
+        // A standard deviation is non-negative; zero means deterministic.
+        if sigma <= 0.0 {
             // Deterministic channel: step function.
             return if arg > 0.0 { 0.0 } else { 1.0 };
         }
@@ -103,7 +104,8 @@ impl ReceptionModel {
         let sigma = self.channel.sigma().value();
         let mean = self.channel.mean_power(r); // P_d0 − 10 α log10(r/d0)
         let arg = (t_cs - mean).value();
-        if sigma == 0.0 {
+        // A standard deviation is non-negative; zero means deterministic.
+        if sigma <= 0.0 {
             return if arg > 0.0 { 1.0 } else { 0.0 };
         }
         std_normal_cdf(arg / sigma)

@@ -150,20 +150,14 @@ impl Rate {
     /// The next rate down in the family, or `None` at the base rate.
     pub fn step_down(self) -> Option<Rate> {
         let set = Rate::all(self.standard());
-        let idx = set
-            .iter()
-            .position(|&r| r == self)
-            .expect("rate in own family");
+        let idx = set.iter().position(|&r| r == self)?;
         idx.checked_sub(1).map(|i| set[i])
     }
 
     /// The next rate up in the family, or `None` at the top rate.
     pub fn step_up(self) -> Option<Rate> {
         let set = Rate::all(self.standard());
-        let idx = set
-            .iter()
-            .position(|&r| r == self)
-            .expect("rate in own family");
+        let idx = set.iter().position(|&r| r == self)?;
         set.get(idx + 1).copied()
     }
 }

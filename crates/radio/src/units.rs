@@ -184,6 +184,7 @@ impl QuantizedPower {
 impl Add for QuantizedPower {
     type Output = QuantizedPower;
     fn add(self, rhs: QuantizedPower) -> QuantizedPower {
+        // simlint: allow(panic-policy) — u128 grains cannot overflow from physical powers; aborting beats a corrupt ledger
         QuantizedPower(self.0.checked_add(rhs.0).expect("power ledger overflow"))
     }
 }
@@ -203,6 +204,7 @@ impl Sub for QuantizedPower {
     ///
     /// Panics on underflow.
     fn sub(self, rhs: QuantizedPower) -> QuantizedPower {
+        // simlint: allow(panic-policy) — underflow means the exact ledger is corrupt; aborting beats silent drift
         QuantizedPower(self.0.checked_sub(rhs.0).expect("power ledger underflow"))
     }
 }

@@ -1,0 +1,107 @@
+//! Property-based tests for the strongly-typed radio units
+//! (`comap_radio::units`) — the algebra the unit-hygiene lint exists to
+//! protect. Each property pins one identity the physics code relies on:
+//! dB arithmetic round-trips, the dBm↔mW bijection, linear-domain
+//! summation monotonicity, and exact quantized-ledger cancellation.
+
+use comap_radio::units::{Db, Dbm, Meters, MilliWatts, QuantizedPower};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dbm_plus_minus_db_round_trips(p in -120.0..40.0f64, g in -60.0..60.0f64) {
+        let p = Dbm::new(p);
+        let g = Db::new(g);
+        prop_assert!(((p + g) - g - p).value().abs() < 1e-9);
+        prop_assert!(((p - g) + g - p).value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_difference_is_the_db_ratio(a in -120.0..40.0f64, b in -120.0..40.0f64) {
+        // (a − b) dB applied back to b recovers a: SIR is a ratio.
+        let (a, b) = (Dbm::new(a), Dbm::new(b));
+        let ratio = a - b;
+        prop_assert!((b + ratio - a).value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbm_to_milliwatts_is_inverse_within_1e9(p in -150.0..50.0f64) {
+        let back = Dbm::new(p).to_milliwatts().to_dbm();
+        prop_assert!((back.value() - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn milliwatts_to_dbm_is_inverse_relative(mw in 1e-15..1e5f64) {
+        let back = MilliWatts::new(mw).to_dbm().to_milliwatts();
+        prop_assert!((back.value() - mw).abs() / mw < 1e-9);
+    }
+
+    #[test]
+    fn db_linear_round_trip(g in -80.0..80.0f64) {
+        let g = Db::new(g);
+        let back = Db::from_linear(g.to_linear());
+        prop_assert!((back - g).value().abs() < 1e-9);
+    }
+
+    #[test]
+    fn milliwatts_summation_is_monotone(
+        powers in prop::collection::vec(0.0..1e3f64, 0..16),
+        extra in 0.0..1e3f64,
+    ) {
+        // Adding an interferer can only raise the ambient power, and the
+        // total dominates every contributor: the linear domain is the
+        // only one where interference sums.
+        let total: MilliWatts = powers.iter().map(|&p| MilliWatts::new(p)).sum();
+        let grown = total + MilliWatts::new(extra);
+        prop_assert!(grown.value() >= total.value());
+        for &p in &powers {
+            prop_assert!(total.value() >= p - 1e-9);
+        }
+    }
+
+    #[test]
+    fn summation_in_dbm_dominates_components(a in -90.0..20.0f64, b in -90.0..20.0f64) {
+        // Combining two signals yields at least the stronger one and at
+        // most 3.02 dB above it (equal-power worst case).
+        let (a, b) = (Dbm::new(a), Dbm::new(b));
+        let sum = (a.to_milliwatts() + b.to_milliwatts()).to_dbm();
+        let strongest = if a.value() >= b.value() { a } else { b };
+        prop_assert!(sum.value() >= strongest.value() - 1e-9);
+        prop_assert!(sum.value() <= strongest.value() + 3.02);
+    }
+
+    #[test]
+    fn quantized_ledger_cancels_exactly(
+        powers in prop::collection::vec(1e-12..1e2f64, 1..12),
+    ) {
+        // Add every power to the ledger, then remove them in reverse:
+        // the ledger returns to zero bit for bit — the invariant the
+        // determinism lint protects in the medium.
+        let grains: Vec<QuantizedPower> = powers
+            .iter()
+            .map(|&p| QuantizedPower::from_milliwatts(MilliWatts::new(p)))
+            .collect();
+        let mut ledger = QuantizedPower::ZERO;
+        for &g in &grains {
+            ledger += g;
+        }
+        let full = ledger;
+        for &g in grains.iter().rev() {
+            ledger -= g;
+        }
+        prop_assert!(ledger.is_zero());
+        // And re-adding reproduces the identical total.
+        let mut again = QuantizedPower::ZERO;
+        for &g in &grains {
+            again += g;
+        }
+        prop_assert_eq!(again, full);
+    }
+
+    #[test]
+    fn meters_scale_and_ratio_agree(d in 0.1..1e4f64, k in 0.1..10.0f64) {
+        let d = Meters::new(d);
+        let scaled = d * k;
+        prop_assert!((scaled / d - k).abs() < 1e-9);
+    }
+}

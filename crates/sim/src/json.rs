@@ -62,6 +62,7 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
             Json::Uint(u) => Some(u),
+            // simlint: allow(float-eq) — fract() == 0.0 is the exact "is an integer" test
             Json::Num(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
             _ => None,
         }

@@ -949,6 +949,7 @@ impl Mac {
             let window = self
                 .arq_tx
                 .get_mut(&dst)
+                // simlint: allow(panic-policy) — windows are created for every flow at setup; a miss is a wiring bug
                 .expect("ARQ window exists per flow");
             // Keep the window full.
             while window.has_room() && flow.traffic.available() >= f64::from(payload) {
@@ -1077,7 +1078,9 @@ impl Mac {
         }
         if self.cfg.features.selective_repeat {
             if let Some(w) = self.arq_tx.get_mut(&p.dst) {
-                w.mark_sent(p.seq);
+                // A frame acked or abandoned between queueing and airtime
+                // has left the window; it needs no attempt bookkeeping.
+                let _ = w.mark_sent(p.seq);
             }
         }
         if self.cfg.features.rts_cts {

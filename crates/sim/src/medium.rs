@@ -327,7 +327,8 @@ impl Medium {
     fn sample_link_power(&mut self, src: usize, dst: usize) -> QuantizedPower {
         let n = self.positions.len();
         let mean = self.link_mean[src * n + dst];
-        if self.fast_sigma.value() == 0.0 {
+        // A fading deviation is non-negative; zero disables fast fading.
+        if self.fast_sigma.value() <= 0.0 {
             return mean.quantized;
         }
         let fast = Db::new(self.fast_sigma.value() * sample_standard_normal(&mut self.rng));
@@ -392,6 +393,7 @@ impl Medium {
     /// wall-clock cost is accumulated for the run profiler.
     fn debug_check_ledger(&mut self) {
         if cfg!(debug_assertions) {
+            // simlint: allow(determinism) — wall clock only times the audit, never feeds sim state
             let started = std::time::Instant::now();
             self.stats.ledger_checks += 1;
             let divergence = self.ledger_divergence_grains();
@@ -427,6 +429,7 @@ impl Medium {
             .get(tx.slot())
             .and_then(Option::as_ref)
             .filter(|a| a.id == tx)
+            // simlint: allow(panic-policy) — documented invariant: ending a tx that is not on the air corrupts hazard integrals, so refuse loudly
             .unwrap_or_else(|| panic!("transmission {tx:?} not on the air"))
     }
 
@@ -594,6 +597,7 @@ impl Medium {
         let slot = tx.slot();
         let ActiveTx {
             id, frame, powers, ..
+            // simlint: allow(panic-policy) — active(tx) above already proved the slot is occupied
         } = self.slots[slot].take().expect("checked by active()");
         self.free_slots.push(slot as u32);
         self.live -= 1;

@@ -154,6 +154,7 @@ pub(crate) struct Profiler {
 impl Profiler {
     pub(crate) fn new() -> Self {
         Profiler {
+            // simlint: allow(determinism) — profiling measures wall time; results never feed sim state
             start: Instant::now(),
             counts: [0; Event::KIND_COUNT],
             nanos: [0; Event::KIND_COUNT],
@@ -168,6 +169,7 @@ impl Profiler {
 
     /// Starts timing one event dispatch.
     pub(crate) fn dispatch_start(&self) -> Instant {
+        // simlint: allow(determinism) — profiling measures wall time; results never feed sim state
         Instant::now()
     }
 

@@ -53,6 +53,7 @@ impl RateController {
             RateController::Fixed(rate) => rate,
             // The Minstrel variant is resolved statefully by the MAC; this
             // stateless path only provides its optimistic starting point.
+            // simlint: allow(panic-policy) — Rate::all is a non-empty static table for every standard
             RateController::Minstrel => *Rate::all(standard).last().expect("non-empty rate set"),
             RateController::IdealSinr { margin } => {
                 let signal = channel.mean_power(src.distance_to(dst));
@@ -216,12 +217,8 @@ impl Minstrel {
     /// Index of the current best rate by expected throughput.
     fn best_index(&self) -> usize {
         (0..self.rates.len())
-            .max_by(|&a, &b| {
-                self.throughput(a)
-                    .partial_cmp(&self.throughput(b))
-                    .expect("finite")
-            })
-            .expect("non-empty rate set")
+            .max_by(|&a, &b| self.throughput(a).total_cmp(&self.throughput(b)))
+            .unwrap_or(0)
     }
 
     /// Picks the rate for the next transmission: usually the

@@ -166,6 +166,7 @@ impl Simulator {
     /// loop, so the report is identical to an unprofiled run.
     pub fn run_profiled(self, duration: SimDuration) -> (SimReport, RunProfile) {
         let (report, profile) = self.run_core(duration, true);
+        // simlint: allow(panic-policy) — run_core(.., true) always builds a profile; a None is a wiring bug
         (report, profile.expect("profiling was enabled"))
     }
 
@@ -179,7 +180,9 @@ impl Simulator {
             if let Some(p) = &mut profiler {
                 p.observe_queue(&self.queue);
             }
-            let (t, event) = self.queue.pop().expect("peeked event exists");
+            let Some((t, event)) = self.queue.pop() else {
+                break; // unreachable: peek_time just returned Some
+            };
             self.now = t;
             self.report.events += 1;
             let started = profiler.as_ref().map(Profiler::dispatch_start);

@@ -78,7 +78,8 @@ impl SimReport {
     /// Goodput of the directed link `src → dst` in payload bits/s.
     pub fn link_goodput_bps(&self, src: NodeId, dst: NodeId) -> f64 {
         let secs = self.duration.as_secs_f64();
-        if secs == 0.0 {
+        // Durations are non-negative, so this is exactly the zero check.
+        if secs <= 0.0 {
             return 0.0;
         }
         self.links
@@ -90,7 +91,8 @@ impl SimReport {
     /// Sum of goodput over every link, in bits/s.
     pub fn aggregate_goodput_bps(&self) -> f64 {
         let secs = self.duration.as_secs_f64();
-        if secs == 0.0 {
+        // Durations are non-negative, so this is exactly the zero check.
+        if secs <= 0.0 {
             return 0.0;
         }
         self.links

@@ -17,6 +17,10 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> simlint --workspace (static invariants, hard gate)"
+cargo run -q -p comap-lint --bin simlint -- --workspace \
+    --json target/simlint.json
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
