@@ -12,13 +12,24 @@ use comap_radio::rates::Rate;
 use comap_radio::units::{Db, Dbm};
 use comap_radio::Position;
 use comap_sim::frame::{Frame, FrameBody, NodeId};
-use comap_sim::medium::Medium;
+use comap_sim::medium::{Medium, MediumBackend};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn grid(n: usize) -> Vec<Position> {
     (0..n)
         .map(|i| Position::new(9.0 * (i % 4) as f64, 9.0 * (i / 4) as f64))
+        .collect()
+}
+
+/// The paper-§VI scale setting as the medium sees it: `n` nodes
+/// scattered uniformly over a `side`-meter square, several relevance
+/// ranges across, so each transmission touches only a handful of
+/// receivers.
+fn scatter(n: usize, side: f64) -> Vec<Position> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
         .collect()
 }
 
@@ -56,9 +67,66 @@ fn cycle_bench(c: &mut Criterion, name: &str, sigma: Db) {
     });
 }
 
+/// One begin/end cycle over an explicit backend and node set, the
+/// transmitter rotating through every node.
+fn backend_cycle_bench(
+    c: &mut Criterion,
+    name: &str,
+    positions: Vec<Position>,
+    backend: MediumBackend,
+) {
+    let n = positions.len();
+    let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+    let mut m = Medium::with_backend(chan, positions, true, StdRng::seed_from_u64(7), backend);
+    let mut t = 0u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let src = (t / 100) as usize % n;
+            let (tx, _) = m.begin(data(src, (src + 1) % n), at(t), at(t + 100));
+            let notes = m.end(tx, at(t + 100));
+            t += 100;
+            black_box(notes)
+        })
+    });
+}
+
 fn bench_medium(c: &mut Criterion) {
     cycle_bench(c, "medium_cycle_10_nodes_sigma0", Db::ZERO);
     cycle_bench(c, "medium_cycle_10_nodes_shadowed", Db::new(4.0));
+
+    // The culling acceptance pair: a 150-node paper-§VI scatter. The
+    // culled backend must stay ≥ 3× faster than the exhaustive one.
+    backend_cycle_bench(
+        c,
+        "medium_cycle_150_nodes_exhaustive",
+        scatter(150, 14000.0),
+        MediumBackend::Exhaustive,
+    );
+    backend_cycle_bench(
+        c,
+        "medium_cycle_150_nodes_culled",
+        scatter(150, 14000.0),
+        MediumBackend::Culled,
+    );
+
+    // Small-topology regression guard: on the 6-node testbed scale the
+    // two backends must be within noise of each other (no > 2% cost
+    // from the grid machinery).
+    let testbed6: Vec<Position> = (0..6)
+        .map(|i| Position::new(10.0 * i as f64, 3.0 * i as f64))
+        .collect();
+    backend_cycle_bench(
+        c,
+        "medium_cycle_6_nodes_exhaustive",
+        testbed6.clone(),
+        MediumBackend::Exhaustive,
+    );
+    backend_cycle_bench(
+        c,
+        "medium_cycle_6_nodes_culled",
+        testbed6,
+        MediumBackend::Culled,
+    );
 
     c.bench_function("medium_set_position_10_nodes", |b| {
         let chan = LogNormalShadowing::testbed(Dbm::new(0.0));

@@ -156,6 +156,9 @@ pub fn representative(name: &str) -> (SimConfig, SimDuration) {
         "fig07" => topology::validation_cell(5, 3, 255, 1000, 1).0,
         "fig09" => topology::fig9_topology(0, MacFeatures::COMAP, 1).0,
         "fig10" | "table1" => topology::large_scale(1, 1, MacFeatures::COMAP, 0.0).0,
+        // The full 150-node campus: the profiler run CI checks in as a
+        // BENCH artifact exercises the culled medium at top scale.
+        "fig_scale" => crate::fig_scale::representative_config(1),
         // ablation, all, fig01, fig08, rtscts: the ET testbed is their
         // common ground (C2 in the exposed region).
         _ => topology::et_testbed(26.0, MacFeatures::COMAP, 1).0,
@@ -219,7 +222,16 @@ mod tests {
     #[test]
     fn every_experiment_has_a_representative() {
         for name in [
-            "ablation", "all", "fig01", "fig02", "fig07", "fig08", "fig09", "fig10", "rtscts",
+            "ablation",
+            "all",
+            "fig01",
+            "fig02",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig_scale",
+            "rtscts",
             "table1",
         ] {
             let (cfg, d) = representative(name);

@@ -20,6 +20,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod fig_scale;
 pub mod instrument;
 pub mod report;
 pub mod runner;

@@ -381,6 +381,111 @@ pub fn large_scale(
     (cfg, LargeScale { aps, associations })
 }
 
+/// Node handles of the scalability campus.
+#[derive(Debug, Clone)]
+pub struct ScaleCampus {
+    /// The access points, one per cell cluster.
+    pub aps: Vec<NodeId>,
+    /// `(client, ap)` association pairs.
+    pub associations: Vec<(NodeId, NodeId)>,
+    /// Side of the square campus, meters.
+    pub side_m: f64,
+}
+
+/// Builds the paper-§VI scalability topology: `n` nodes total (one AP
+/// per ten nodes, the rest clients) spread over a square campus whose
+/// area grows linearly with `n`, so node density — and therefore local
+/// contention — stays constant while the *global* node count scales.
+/// Clients sit 5–30 m from their AP (the testbed channel's viable
+/// communication range) and run two-way CBR with it; every client gets
+/// random-waypoint-style movement, approximated as step moves every
+/// ~80 ms: most wander within their cell, one in eight roams to a
+/// random point on the campus (crossing grid cells and refreshing
+/// overflow lists).
+///
+/// The geometry is what the spatial-culling layer is for: clusters
+/// several relevance ranges apart contribute exactly nothing to each
+/// other, so `Medium::begin`/`end` under the culled backend touch a
+/// bounded neighbourhood instead of all `n` nodes.
+pub fn scale_campus(
+    n: usize,
+    topology_seed: u64,
+    features: MacFeatures,
+    seed: u64,
+) -> (SimConfig, ScaleCampus) {
+    assert!(n >= 10, "the campus needs at least one AP cluster");
+    let mut cfg = SimConfig::testbed(seed);
+    cfg.default_features = MacFeatures {
+        discovery_header: false,
+        ..features
+    };
+    cfg.inband_header = features.any();
+    cfg.rate_controller = RateController::Fixed(Rate::Mbps11);
+
+    // Constant density: one node per (280 m)² patch keeps clusters a
+    // few relevance ranges (≈ 570 m on the testbed channel) apart.
+    let side = (n as f64).sqrt() * 280.0;
+    let n_aps = n / 10;
+    let mut rng = StdRng::seed_from_u64(topology_seed.wrapping_mul(0x9E37_79B9).wrapping_add(41));
+
+    let mut ap_positions = Vec::with_capacity(n_aps);
+    for _ in 0..n_aps {
+        ap_positions.push(Position::new(
+            rng.gen_range(0.0..side),
+            rng.gen_range(0.0..side),
+        ));
+    }
+    let aps: Vec<NodeId> = ap_positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| cfg.add_node(NodeSpec::ap(format!("AP{i}"), p)))
+        .collect();
+
+    let mut associations = Vec::new();
+    for i in 0..(n - n_aps) {
+        // Attach each client to a round-robin AP, 5–30 m away.
+        let ap_idx = i % n_aps;
+        let home = ap_positions[ap_idx];
+        let client_pos = |rng: &mut StdRng| loop {
+            let r = rng.gen_range(5.0..30.0);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let p = home.offset(r * theta.cos(), r * theta.sin());
+            if (0.0..=side).contains(&p.x) && (0.0..=side).contains(&p.y) {
+                break p;
+            }
+        };
+        let pos = client_pos(&mut rng);
+        let mut spec = NodeSpec::client(format!("C{i}"), pos);
+        // Random-waypoint step motion: a waypoint every ~80 ms.
+        let roamer = i % 8 == 7;
+        for step in 1..=4u64 {
+            let to = if roamer {
+                Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))
+            } else {
+                client_pos(&mut rng)
+            };
+            let jitter = rng.gen_range(0u64..20_000);
+            spec = spec.with_move(
+                comap_mac::time::SimDuration::from_micros(step * 80_000 + jitter),
+                to,
+            );
+        }
+        let c = cfg.add_node(spec);
+        let ap = aps[ap_idx];
+        cfg.add_flow(c, ap, Traffic::Cbr { bps: 2.0e5 });
+        cfg.add_flow(ap, c, Traffic::Cbr { bps: 2.0e5 });
+        associations.push((c, ap));
+    }
+    (
+        cfg,
+        ScaleCampus {
+            aps,
+            associations,
+            side_m: side,
+        },
+    )
+}
+
 fn nearest_ap(aps: &[Position], p: Position) -> (f64, usize) {
     aps.iter()
         .enumerate()

@@ -1,0 +1,67 @@
+//! Seeded violations for the `backend-exhaustive` rule. This file is a
+//! lint *fixture* (never compiled): it pins what the rule must flag —
+//! wildcard arms in `MediumBackend` dispatches — and what it must leave
+//! alone.
+
+use crate::medium::MediumBackend;
+
+/// Exhaustive dispatch: clean.
+pub fn label(backend: MediumBackend) -> &'static str {
+    match backend {
+        MediumBackend::Exhaustive => "exhaustive",
+        MediumBackend::Culled => "culled",
+    }
+}
+
+/// Wildcard arm absorbing future backends: flagged.
+pub fn is_culled(backend: MediumBackend) -> bool {
+    match backend {
+        MediumBackend::Culled => true,
+        _ => false,
+    }
+}
+
+/// Wildcard inside an or-pattern: flagged.
+pub fn cost_class(backend: MediumBackend) -> u32 {
+    match backend {
+        MediumBackend::Exhaustive | _ => 1,
+    }
+}
+
+/// Guarded wildcard: flagged.
+pub fn guarded(backend: MediumBackend, quick: bool) -> u32 {
+    match backend {
+        MediumBackend::Culled => 0,
+        _ if quick => 1,
+        MediumBackend::Exhaustive => 2,
+    }
+}
+
+/// Justified wildcard: suppressed, not reported.
+pub fn justified(backend: MediumBackend) -> u32 {
+    match backend {
+        MediumBackend::Culled => 0,
+        // simlint: allow(backend-exhaustive) — transitional shim removed with the legacy path
+        _ => 1,
+    }
+}
+
+/// A match on something else entirely: the rule must not fire.
+pub fn unrelated(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => 0,
+    }
+}
+
+/// A non-backend match nested inside a backend dispatch: the inner
+/// wildcard belongs to the inner match and must not fire either.
+pub fn nested(backend: MediumBackend, n: u32) -> u32 {
+    match backend {
+        MediumBackend::Exhaustive => match n {
+            0 => 1,
+            _ => 2,
+        },
+        MediumBackend::Culled => 3,
+    }
+}

@@ -24,6 +24,10 @@ pub enum Rule {
     EventCompleteness,
     /// No `==`/`!=` against floating-point literals.
     FloatEq,
+    /// Matches dispatching on a `MediumBackend` must name every
+    /// backend — no wildcard arms, so adding a backend forces a
+    /// decision at each dispatch site.
+    BackendExhaustive,
     /// A `simlint:` directive that is malformed, names an unknown rule,
     /// or omits its justification.
     BadSuppression,
@@ -39,6 +43,7 @@ impl Rule {
             Rule::PanicPolicy => "panic-policy",
             Rule::EventCompleteness => "event-completeness",
             Rule::FloatEq => "float-eq",
+            Rule::BackendExhaustive => "backend-exhaustive",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -51,18 +56,20 @@ impl Rule {
             "panic-policy" => Rule::PanicPolicy,
             "event-completeness" => Rule::EventCompleteness,
             "float-eq" => Rule::FloatEq,
+            "backend-exhaustive" => Rule::BackendExhaustive,
             "bad-suppression" => Rule::BadSuppression,
             _ => return None,
         })
     }
 
     /// Every suppressible rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::UnitHygiene,
         Rule::Determinism,
         Rule::PanicPolicy,
         Rule::EventCompleteness,
         Rule::FloatEq,
+        Rule::BackendExhaustive,
         Rule::BadSuppression,
     ];
 }
@@ -127,6 +134,8 @@ const UNIT_HYGIENE_CRATES: [&str; 2] = ["radio", "sim"];
 const DETERMINISM_CRATES: [&str; 3] = ["sim", "mac", "core"];
 /// The crate holding the `SimEvent` enum and its emission sites.
 const EVENT_CRATE: &str = "sim";
+/// Crates whose `MediumBackend` dispatches must stay exhaustive.
+const BACKEND_CRATES: [&str; 2] = ["sim", "experiments"];
 /// The enum whose variants event-completeness audits.
 const EVENT_ENUM: &str = "SimEvent";
 
@@ -154,6 +163,9 @@ pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
         check_float_eq(file, lexed, &mut raw);
         if UNIT_HYGIENE_CRATES.contains(&file.crate_name.as_str()) {
             check_unit_hygiene(file, lexed, &mut raw);
+        }
+        if BACKEND_CRATES.contains(&file.crate_name.as_str()) {
+            check_backend_exhaustive(file, lexed, &mut raw);
         }
         check_directives(file, lexed, &mut raw);
         if file.crate_name == EVENT_CRATE {
@@ -446,6 +458,88 @@ fn check_params(file: &SourceFile, params: &[Token], out: &mut Vec<Finding>) {
     }
 }
 
+/// backend-exhaustive: a `match` whose scrutinee mentions the medium
+/// backend (`MediumBackend` or any `*backend*` binding) must not use a
+/// wildcard arm. The two backends are contractually bit-identical, so
+/// every dispatch site is a place where a future backend needs an
+/// explicit decision — a `_` arm would silently absorb it.
+fn check_backend_exhaustive(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if lexed.in_test[i] || !toks[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // Scan the scrutinee: everything up to the `{` opening the
+        // match body (braces inside parens/brackets don't end it).
+        let mut j = i + 1;
+        let mut mentions_backend = false;
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if depth == 0 && t.is_punct("{") {
+                break;
+            }
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                _ => {}
+            }
+            if t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("backend") {
+                mentions_backend = true;
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        if !mentions_backend {
+            i = j + 1;
+            continue;
+        }
+        // Walk the body: a `_` at arm level (depth 1) starting or
+        // continuing a pattern (`_ =>`, `_ |`, `_ if guard =>`).
+        let open = j;
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 && t.is_ident("_") {
+                let next = toks.get(k + 1);
+                let is_arm = matches!(
+                    next,
+                    Some(n) if n.is_punct("=>") || n.is_punct("|") || n.is_ident("if")
+                );
+                if is_arm {
+                    push(
+                        file,
+                        Rule::BackendExhaustive,
+                        t.line,
+                        "wildcard arm in a `MediumBackend` dispatch — name every backend \
+                         so adding one forces a decision here, or justify with \
+                         `simlint: allow(backend-exhaustive)`"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+            k += 1;
+        }
+        // Resume just inside the body so nested backend matches are
+        // still scanned (their arms sit at depth ≥ 2 here, so the pass
+        // above never double-reports them).
+        i = open + 1;
+    }
+}
+
 /// bad-suppression: every `simlint:` comment must be a well-formed
 /// `allow(<known-rule>)` with a justification.
 fn check_directives(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
@@ -660,6 +754,21 @@ mod tests {
             .map(|f| f.message.split('`').nth(1).unwrap_or(""))
             .collect();
         assert_eq!(names, vec!["SimEvent::Orphan", "SimEvent::BareOrphan"]);
+    }
+
+    #[test]
+    fn backend_exhaustive_flags_wildcards_in_scope_only() {
+        let src = "fn f(backend: MediumBackend) -> u32 {\n\
+                   \x20   match backend {\n\
+                   \x20       MediumBackend::Culled => 1,\n\
+                   \x20       _ => 0,\n\
+                   \x20   }\n\
+                   }\n\
+                   fn g(n: u32) -> u32 { match n { 0 => 1, _ => 0 } }\n";
+        let flagged = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(rules_of(&flagged), vec![(Rule::BackendExhaustive, 4)]);
+        let unflagged = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
+        assert!(unflagged.findings.is_empty());
     }
 
     #[test]

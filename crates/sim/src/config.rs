@@ -6,6 +6,7 @@ use comap_radio::units::Meters;
 use comap_radio::Position;
 
 use crate::frame::NodeId;
+use crate::medium::MediumBackend;
 use crate::rate::RateController;
 
 /// Which CO-MAP extensions a node's MAC runs. All off = plain DCF.
@@ -195,6 +196,10 @@ pub struct SimConfig {
     /// instead of a separate header packet, costing 4 bytes instead of
     /// a whole frame. Used by the NS-2-style large-scale experiments.
     pub inband_header: bool,
+    /// How the medium enumerates receivers. Both backends are
+    /// bit-identical (the differential harness pins it); `Culled` is
+    /// only faster, so it is the default.
+    pub backend: MediumBackend,
     /// Nodes, indexed by [`NodeId`].
     pub nodes: Vec<NodeSpec>,
     /// Traffic matrix.
@@ -226,6 +231,7 @@ impl SimConfig {
             capture: true,
             preamble_cs: true,
             inband_header: false,
+            backend: MediumBackend::Culled,
             nodes: Vec::new(),
             flows: Vec::new(),
         }

@@ -79,6 +79,7 @@ pub mod stats;
 pub use config::{MacFeatures, NodeSpec, SimConfig, Traffic};
 pub use frame::{Frame, NodeId};
 pub use json::Json;
+pub use medium::{MediumBackend, MediumCounters};
 pub use metrics::{Metrics, MetricsSink};
 pub use observe::{JsonlSink, NoopSink, Observer, SimEvent, TimelineHandle, TimelineSink};
 pub use profile::RunProfile;

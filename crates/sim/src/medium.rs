@@ -25,6 +25,29 @@
 //! from-scratch recomputation after every [`Medium::begin`] /
 //! [`Medium::end`]; release callers can do the same through
 //! [`Medium::ledger_divergence_grains`].
+//!
+//! # The relevance floor and spatial culling
+//!
+//! A link whose cached mean received power sits below the *relevance
+//! floor* ([`RELEVANCE_MARGIN_DB`] decibels under the thermal noise
+//! floor) contributes **exactly zero** to every receiver-side quantity:
+//! no fading draw, no ledger grains, no [`PhyNote::Sense`]. That rule is
+//! part of the propagation model itself — both backends apply it to the
+//! same cached means — which is what makes the two backends bit-identical
+//! by construction:
+//!
+//! * [`MediumBackend::Exhaustive`] scans every node per transmission and
+//!   keeps the dense per-node power vector (the reference algorithm).
+//! * [`MediumBackend::Culled`] enumerates only the nodes in the 3 × 3
+//!   grid-cell neighbourhood of the sender (cell side = the channel's
+//!   relevance range) plus a per-node *overflow list* of links whose
+//!   static shadowing draw keeps them relevant beyond that range, and
+//!   stores powers sparsely.
+//!
+//! Both enumerations filter by the same relevance predicate in the same
+//! ascending node order, so they consume identical RNG streams and move
+//! identical grains. See DESIGN.md §7 for the derivation of the radius
+//! and the exactness argument.
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -66,6 +89,22 @@ pub enum PhyNote {
         /// When the data frame ends.
         data_end: SimTime,
     },
+}
+
+/// How the medium enumerates the receivers of a transmission.
+///
+/// Both backends produce bit-identical results (same reports, same event
+/// streams, same RNG consumption) — the culled backend is only allowed
+/// to be *faster*. The differential harness in
+/// `crates/sim/tests/differential.rs` pins that equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediumBackend {
+    /// Dense reference algorithm: every transmission visits all `n`
+    /// nodes and carries an `n`-entry power vector.
+    Exhaustive,
+    /// Spatial culling: only grid-neighbour nodes (plus the overflow
+    /// list) are visited, and powers are stored sparsely.
+    Culled,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -112,14 +151,39 @@ struct PhyState {
     lock: Option<RxLock>,
 }
 
+/// Per-receiver powers of one active transmission. Dense under the
+/// exhaustive backend (own and culled entries zero), sparse under the
+/// culled backend (relevant receivers only, ascending by node). Both
+/// describe the same function `node → grains`, so begin/end move
+/// identical grains either way.
+#[derive(Debug, Clone)]
+enum PowerMap {
+    /// Received power of this transmission at every node (own entry 0),
+    /// pre-quantized so begin/end move identical grains.
+    Dense(Vec<QuantizedPower>),
+    /// `(node, power)` of every relevant receiver, ascending by node.
+    Sparse(Vec<(u32, QuantizedPower)>),
+}
+
+impl PowerMap {
+    /// Power delivered to `node` (zero when culled or the sender).
+    fn at(&self, node: usize) -> QuantizedPower {
+        match self {
+            PowerMap::Dense(v) => v[node],
+            PowerMap::Sparse(v) => v
+                .binary_search_by_key(&(node as u32), |&(n, _)| n)
+                .map(|i| v[i].1)
+                .unwrap_or(QuantizedPower::ZERO),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ActiveTx {
     id: TxId,
     frame: Frame,
     end: SimTime,
-    /// Received power of this transmission at every node (own entry 0),
-    /// pre-quantized so begin/end move identical grains.
-    powers: Vec<QuantizedPower>,
+    powers: PowerMap,
 }
 
 /// Cached mean received power of one ordered link: mean path loss at the
@@ -146,6 +210,19 @@ impl LinkMean {
 /// run, keeping the total variance at the channel\'s σ².
 const FAST_SIGMA_DB: f64 = 1.5;
 
+/// Margin below the thermal noise floor at which a link stops being
+/// *relevant*: its mean received power can no longer flip a carrier-sense
+/// comparison or perturb a SINR entry beyond the noise the comparison
+/// already tolerates (a single sub-floor contribution shifts the ambient
+/// sum by < 0.02 dB), so the model treats it as exactly zero. 25 dB puts
+/// the floor at −120 dBm for the −95 dBm noise floor.
+pub const RELEVANCE_MARGIN_DB: f64 = 25.0;
+
+/// Largest number of grid cells per axis. Beyond this the cells simply
+/// grow past the relevance range, which only ever *over*-includes
+/// candidates — correctness never depends on the cap.
+const MAX_CELLS_PER_AXIS: usize = 64;
+
 /// Bits of a [`TxId`] used for the slab slot; the rest hold a
 /// never-reused generation count, so a stale id can never alias a live
 /// transmission occupying the same slot.
@@ -157,12 +234,132 @@ impl TxId {
     }
 }
 
+/// Deterministic counters of the link cache and the culling layer.
+/// Backend-dependent by design (the exhaustive backend enumerates more
+/// candidates), so they are surfaced by side accessor and the run
+/// profiler only — never through a [`SimReport`](crate::stats::SimReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediumCounters {
+    /// Link-mean cache entries recomputed through the `powf`-heavy
+    /// path-loss path (construction and `set_position` only).
+    pub cache_recomputes: u64,
+    /// Link-mean cache lookups served without recomputation (one per
+    /// relevant receiver per transmission).
+    pub cache_lookups: u64,
+    /// Candidate receivers enumerated across all `begin` calls, before
+    /// the relevance filter.
+    pub cull_candidates: u64,
+    /// Receivers that passed the relevance filter (and therefore drew
+    /// fading and entered the ledger).
+    pub cull_relevant: u64,
+}
+
+/// Uniform grid over node positions. Cell sides are at least the
+/// relevance range, so any pair of nodes within that range lands in the
+/// same or adjacent cells: the cell coordinate map is a composition of a
+/// 1-Lipschitz clamp and a floor-divide by the cell side, which cannot
+/// separate two coordinates closer than one cell side by more than one
+/// cell. Out-of-bounds positions clamp onto the border cells — that only
+/// ever over-includes candidates.
+#[derive(Debug, Clone)]
+struct Grid {
+    min_x: f64,
+    min_y: f64,
+    /// Cell sides in meters (≥ the relevance range whenever the axis has
+    /// more than one cell).
+    cell_w: f64,
+    cell_h: f64,
+    nx: usize,
+    ny: usize,
+    /// Node ids per cell (unordered — candidates are sorted on gather).
+    cells: Vec<Vec<u32>>,
+    /// Flattened cell index of each node.
+    cell_of: Vec<u32>,
+}
+
+impl Grid {
+    fn new(positions: &[Position], range: Meters) -> Self {
+        let r = range.value().max(1.0);
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let axis = |min: f64, max: f64| {
+            let width = (max - min).max(0.0);
+            let n = ((width / r).floor() as usize).clamp(1, MAX_CELLS_PER_AXIS);
+            // n = ⌊width / r⌋ (≥ 1 cell) keeps the side ≥ r: width / n ≥ r.
+            (n, (width / n as f64).max(r))
+        };
+        let (nx, cell_w) = axis(min_x, max_x);
+        let (ny, cell_h) = axis(min_y, max_y);
+        let mut grid = Grid {
+            min_x,
+            min_y,
+            cell_w,
+            cell_h,
+            nx,
+            ny,
+            cells: vec![Vec::new(); nx * ny],
+            cell_of: vec![0; positions.len()],
+        };
+        for (i, p) in positions.iter().enumerate() {
+            let c = grid.cell_index(*p);
+            grid.cells[c].push(i as u32);
+            grid.cell_of[i] = c as u32;
+        }
+        grid
+    }
+
+    fn cell_index(&self, p: Position) -> usize {
+        let clamp = |v: f64, cell: f64, n: usize| -> usize {
+            let c = (v / cell).floor();
+            // Negative coordinates clamp onto the first cell.
+            (c.max(0.0) as usize).min(n - 1)
+        };
+        let cx = clamp(p.x - self.min_x, self.cell_w, self.nx);
+        let cy = clamp(p.y - self.min_y, self.cell_h, self.ny);
+        cy * self.nx + cx
+    }
+
+    /// Re-files a node under its new position's cell.
+    fn move_node(&mut self, node: usize, to: Position) {
+        let old = self.cell_of[node] as usize;
+        let new = self.cell_index(to);
+        if new == old {
+            return;
+        }
+        let cell = &mut self.cells[old];
+        if let Some(i) = cell.iter().position(|&v| v as usize == node) {
+            cell.swap_remove(i);
+        }
+        self.cells[new].push(node as u32);
+        self.cell_of[node] = new as u32;
+    }
+
+    /// Appends every node in the 3 × 3 cell neighbourhood of `node`
+    /// (including `node` itself) to `out`.
+    fn gather_neighbors(&self, node: usize, out: &mut Vec<u32>) {
+        let c = self.cell_of[node] as usize;
+        let (cx, cy) = (c % self.nx, c / self.nx);
+        for y in cy.saturating_sub(1)..=(cy + 1).min(self.ny - 1) {
+            for x in cx.saturating_sub(1)..=(cx + 1).min(self.nx - 1) {
+                out.extend_from_slice(&self.cells[y * self.nx + x]);
+            }
+        }
+    }
+}
+
 /// The medium over a set of node positions.
 #[derive(Debug)]
 pub struct Medium {
     channel: LogNormalShadowing,
     positions: Vec<Position>,
     capture: bool,
+    backend: MediumBackend,
     /// Emit [`PhyNote::Announce`] when a node locks onto a data frame
     /// (the paper\'s in-band header implementation, Section V method 1).
     inband_announce: bool,
@@ -179,11 +376,27 @@ pub struct Medium {
     rng: StdRng,
     /// Mean received power per ordered link (`src * n + dst`): mean path
     /// loss plus the static shadowing draw. Invalidated only by
-    /// [`Medium::set_position`], so `begin()` does one table lookup plus
-    /// a fast-fading draw per receiver.
+    /// [`Medium::set_position`] — and only the moved node's row and
+    /// column — so `begin()` does one table lookup plus a fast-fading
+    /// draw per relevant receiver.
     link_mean: Vec<LinkMean>,
     fast_sigma: Db,
+    /// Mean power below which a link is treated as exactly zero.
+    relevance_floor: Dbm,
+    /// Distance at which the channel's *mean* power reaches the floor —
+    /// the grid cell side. Links pushed past it by a favourable static
+    /// draw live in the overflow lists instead.
+    relevance_range: Meters,
+    grid: Grid,
+    /// Per-node sorted lists of nodes that stay relevant beyond the grid
+    /// reach (`dist > relevance_range` yet `mean ≥ floor`): the static
+    /// shadowing draw is unbounded, so distance alone cannot bound the
+    /// mean. Symmetric, typically empty.
+    overflow: Vec<Vec<u32>>,
+    /// Reusable candidate buffer for the culled gather path.
+    scratch: Vec<u32>,
     stats: MediumStats,
+    counters: MediumCounters,
     /// Instrumentation enabled — gates every event construction below,
     /// so an unobserved medium pays one predictable branch per site.
     observe: bool,
@@ -199,23 +412,39 @@ pub struct Medium {
 }
 
 impl Medium {
+    /// Creates a medium with the [`MediumBackend::Culled`] backend — see
+    /// [`Medium::with_backend`].
+    pub fn new(
+        channel: LogNormalShadowing,
+        positions: Vec<Position>,
+        capture: bool,
+        rng: StdRng,
+    ) -> Self {
+        Self::with_backend(channel, positions, capture, rng, MediumBackend::Culled)
+    }
+
     /// Creates a medium for nodes at `positions` over `channel`. The
     /// channel\'s shadowing deviation is split into a static per-link
     /// component (drawn here, reciprocal, folded into the link cache)
     /// and a small per-frame fading component of at most
     /// [`FAST_SIGMA_DB`].
-    pub fn new(
+    pub fn with_backend(
         channel: LogNormalShadowing,
         positions: Vec<Position>,
         capture: bool,
         mut rng: StdRng,
+        backend: MediumBackend,
     ) -> Self {
         let n = positions.len();
         let states = vec![PhyState::default(); n];
         let sigma = channel.sigma().value();
         let fast = sigma.min(FAST_SIGMA_DB);
         let slow = (sigma * sigma - fast * fast).max(0.0).sqrt();
+        let relevance_floor = NOISE_FLOOR + Db::new(-RELEVANCE_MARGIN_DB);
+        let relevance_range = channel.range_for_threshold(relevance_floor);
+        let mut counters = MediumCounters::default();
         let mut link_mean = vec![LinkMean::new(Dbm::MIN); n * n];
+        let mut overflow = vec![Vec::new(); n];
         for a in 0..n {
             for b in (a + 1)..n {
                 let draw = Db::new(slow * sample_standard_normal(&mut rng));
@@ -223,12 +452,21 @@ impl Medium {
                 let mean = LinkMean::new(channel.mean_power(d) + draw);
                 link_mean[a * n + b] = mean;
                 link_mean[b * n + a] = mean;
+                counters.cache_recomputes += 2;
+                if d.value() > relevance_range.value()
+                    && mean.dbm.value() >= relevance_floor.value()
+                {
+                    overflow[a].push(b as u32);
+                    overflow[b].push(a as u32);
+                }
             }
         }
+        let grid = Grid::new(&positions, relevance_range);
         Medium {
             channel,
             positions,
             capture,
+            backend,
             inband_announce: false,
             states,
             slots: Vec::new(),
@@ -238,7 +476,13 @@ impl Medium {
             rng,
             link_mean,
             fast_sigma: Db::new(fast),
+            relevance_floor,
+            relevance_range,
+            grid,
+            overflow,
+            scratch: Vec::new(),
             stats: MediumStats::default(),
+            counters,
             observe: false,
             cs_threshold: Dbm::MIN.to_milliwatts(),
             cs_busy: vec![false; n],
@@ -280,6 +524,28 @@ impl Medium {
         self.ledger_check_nanos
     }
 
+    /// The backend in force.
+    pub fn backend(&self) -> MediumBackend {
+        self.backend
+    }
+
+    /// Deterministic link-cache and culling counters. Backend-dependent
+    /// by design; never part of a report.
+    pub fn counters(&self) -> MediumCounters {
+        self.counters
+    }
+
+    /// Mean received power below which a link contributes exactly zero.
+    pub fn relevance_floor(&self) -> Dbm {
+        self.relevance_floor
+    }
+
+    /// Distance at which the channel's mean power reaches the relevance
+    /// floor — the grid cell side.
+    pub fn relevance_range(&self) -> Meters {
+        self.relevance_range
+    }
+
     /// Emits a carrier-sense transition event for every node whose
     /// sensed power crossed the CCA threshold since the last pass.
     fn emit_cs_transitions(&mut self) {
@@ -299,14 +565,19 @@ impl Medium {
     /// Moves a node: future propagation uses the new position, and the
     /// static shadowing of every link involving the node is redrawn (a
     /// mover meets new walls); both invalidate exactly the moved node's
-    /// rows of the link cache. Transmissions already on the air keep the
-    /// powers they were drawn with.
+    /// row and column of the link cache — `2(n − 1)` entries, never the
+    /// full `n²` table. The grid files the node under its new cell and
+    /// the overflow lists of the affected pairs are refreshed.
+    /// Transmissions already on the air keep the powers they were drawn
+    /// with.
     pub fn set_position(&mut self, node: NodeId, to: Position) {
         let n = self.positions.len();
         self.positions[node.0] = to;
+        self.grid.move_node(node.0, to);
         let sigma = self.channel.sigma().value();
         let fast = sigma.min(FAST_SIGMA_DB);
         let slow = (sigma * sigma - fast * fast).max(0.0).sqrt();
+        self.overflow[node.0].clear();
         for other in 0..n {
             if other != node.0 {
                 let draw = Db::new(slow * sample_standard_normal(&mut self.rng));
@@ -316,8 +587,55 @@ impl Medium {
                 let mean = LinkMean::new(self.channel.mean_power(d) + draw);
                 self.link_mean[node.0 * n + other] = mean;
                 self.link_mean[other * n + node.0] = mean;
+                self.counters.cache_recomputes += 2;
+                let in_overflow = d.value() > self.relevance_range.value()
+                    && mean.dbm.value() >= self.relevance_floor.value();
+                if in_overflow {
+                    self.overflow[node.0].push(other as u32);
+                }
+                let peers = &mut self.overflow[other];
+                match peers.binary_search(&(node.0 as u32)) {
+                    Ok(i) if !in_overflow => {
+                        peers.remove(i);
+                    }
+                    Err(i) if in_overflow => {
+                        peers.insert(i, node.0 as u32);
+                    }
+                    _ => {}
+                }
             }
         }
+    }
+
+    /// Whether the link `src → dst` clears the relevance floor. The
+    /// predicate is a pure function of the cached mean, so both backends
+    /// agree on it without consuming randomness.
+    fn relevant(&self, src: usize, dst: usize) -> bool {
+        self.link_mean[src * self.positions.len() + dst].dbm.value() >= self.relevance_floor.value()
+    }
+
+    /// The candidate receivers the culling layer enumerates for a
+    /// transmission from `node`: the 3 × 3 grid neighbourhood plus the
+    /// overflow list, sorted and deduplicated, before the relevance
+    /// filter. A superset of the relevant set by construction (the
+    /// property test pins this).
+    pub fn candidate_receivers(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.grid.gather_neighbors(node.0, &mut out);
+        out.extend_from_slice(&self.overflow[node.0]);
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&j| j as usize != node.0);
+        out.into_iter().map(|j| NodeId(j as usize)).collect()
+    }
+
+    /// The receivers above the relevance floor for a transmission from
+    /// `node`, ascending — the set both backends actually visit.
+    pub fn relevant_receivers(&self, node: NodeId) -> Vec<NodeId> {
+        (0..self.positions.len())
+            .filter(|&j| j != node.0 && self.relevant(node.0, j))
+            .map(NodeId)
+            .collect()
     }
 
     /// One received-power sample for the link `src → dst`: the cached
@@ -327,6 +645,7 @@ impl Medium {
     fn sample_link_power(&mut self, src: usize, dst: usize) -> QuantizedPower {
         let n = self.positions.len();
         let mean = self.link_mean[src * n + dst];
+        self.counters.cache_lookups += 1;
         // A fading deviation is non-negative; zero disables fast fading.
         if self.fast_sigma.value() <= 0.0 {
             return mean.quantized;
@@ -365,12 +684,14 @@ impl Medium {
 
     /// Recomputes `node`'s incoming power from scratch over the active
     /// transmissions — the reference the incremental ledger must match.
+    /// Culled entries read back as exact zeros, so the recomputation is
+    /// backend-agnostic.
     fn recomputed_incoming(&self, node: usize) -> QuantizedPower {
         self.slots
             .iter()
             .flatten()
             .filter(|a| a.frame.src.0 != node)
-            .map(|a| a.powers[node])
+            .map(|a| a.powers.at(node))
             .sum()
     }
 
@@ -433,8 +754,129 @@ impl Medium {
             .unwrap_or_else(|| panic!("transmission {tx:?} not on the air"))
     }
 
+    /// Draws the per-receiver powers of a transmission from `src` under
+    /// the backend in force. Both arms draw fading for the same relevant
+    /// receivers in the same ascending order, so the RNG stream is
+    /// backend-independent.
+    fn draw_powers(&mut self, src: usize) -> PowerMap {
+        let n = self.positions.len();
+        match self.backend {
+            MediumBackend::Exhaustive => {
+                let mut v = vec![QuantizedPower::ZERO; n];
+                self.counters.cull_candidates += (n - 1) as u64;
+                for (j, slot) in v.iter_mut().enumerate() {
+                    if j != src && self.relevant(src, j) {
+                        self.counters.cull_relevant += 1;
+                        *slot = self.sample_link_power(src, j);
+                    }
+                }
+                PowerMap::Dense(v)
+            }
+            MediumBackend::Culled => {
+                let mut targets = std::mem::take(&mut self.scratch);
+                targets.clear();
+                self.grid.gather_neighbors(src, &mut targets);
+                targets.extend_from_slice(&self.overflow[src]);
+                targets.sort_unstable();
+                targets.dedup();
+                targets.retain(|&j| j as usize != src);
+                self.counters.cull_candidates += targets.len() as u64;
+                targets.retain(|&j| self.relevant(src, j as usize));
+                self.counters.cull_relevant += targets.len() as u64;
+                let mut v = Vec::with_capacity(targets.len());
+                for &j in &targets {
+                    v.push((j, self.sample_link_power(src, j as usize)));
+                }
+                self.scratch = targets;
+                PowerMap::Sparse(v)
+            }
+        }
+    }
+
+    /// Receiver-side bookkeeping when a transmission starts: ledger
+    /// credit, lock acquisition or preamble capture, and the
+    /// sense/announce notes. `power` is always non-zero (culled
+    /// receivers are never visited).
+    #[allow(clippy::too_many_arguments)]
+    fn receive_begin(
+        &mut self,
+        n: usize,
+        power: QuantizedPower,
+        id: TxId,
+        frame: Frame,
+        now: SimTime,
+        end: SimTime,
+        notes: &mut Vec<(NodeId, PhyNote)>,
+        captured: &mut Vec<usize>,
+    ) {
+        let p = power.to_milliwatts();
+        let observe = self.observe;
+        let capture = self.capture;
+        let state = &mut self.states[n];
+        let ambient = NOISE_FLOOR.to_milliwatts() + state.incoming.to_milliwatts();
+        let threshold = frame.rate.min_sinr().to_linear();
+        let decodable = state.transmitting.is_none() && p.value() / ambient.value() >= threshold;
+        state.incoming += power;
+        let incoming_now = state.incoming.to_milliwatts();
+        let mut announced = false;
+        state.lock = match state.lock {
+            None if decodable => {
+                announced = true;
+                Some(RxLock {
+                    tx: id,
+                    signal: p,
+                    interference: ambient,
+                    hazard: 0.0,
+                    since: now,
+                    rate: frame.rate,
+                })
+            }
+            None => None,
+            Some(mut lock) => {
+                // Close the exposure span at the old interference
+                // level, then raise it.
+                lock.accrue(now);
+                lock.interference = NOISE_FLOOR.to_milliwatts() + incoming_now - lock.signal;
+                // Preamble capture: the new frame is decodable even
+                // over the locked signal.
+                if capture && decodable {
+                    announced = true;
+                    self.stats.captures += 1;
+                    if observe {
+                        captured.push(n);
+                    }
+                    Some(RxLock {
+                        tx: id,
+                        signal: p,
+                        interference: ambient,
+                        hazard: 0.0,
+                        since: now,
+                        rate: frame.rate,
+                    })
+                } else {
+                    Some(lock)
+                }
+            }
+        };
+        if announced
+            && self.inband_announce
+            && matches!(frame.body, crate::frame::FrameBody::Data { .. })
+        {
+            notes.push((
+                NodeId(n),
+                PhyNote::Announce {
+                    link: (frame.src, frame.dst),
+                    data_end: end,
+                },
+            ));
+        }
+        notes.push((NodeId(n), PhyNote::Sense));
+    }
+
     /// Puts `frame` on the air from its source at `now`, lasting until
     /// `end`. Returns the transmission id and the per-node notifications.
+    /// Only receivers above the relevance floor are visited — they are
+    /// the same set under either backend.
     ///
     /// # Panics
     ///
@@ -457,17 +899,9 @@ impl Medium {
             "transmission must end after it begins ({now} .. {end})"
         );
 
-        // One fading draw per receiver, consistent for the frame's whole
-        // lifetime.
-        let powers: Vec<QuantizedPower> = (0..self.positions.len())
-            .map(|n| {
-                if n == src {
-                    QuantizedPower::ZERO
-                } else {
-                    self.sample_link_power(src, n)
-                }
-            })
-            .collect();
+        // One fading draw per relevant receiver, consistent for the
+        // frame's whole lifetime.
+        let powers = self.draw_powers(src);
 
         let id = self.allocate(ActiveTx {
             id: TxId(0),
@@ -491,79 +925,34 @@ impl Medium {
         }
 
         let mut notes = Vec::new();
-        let capture = self.capture;
-        let mut captures = 0;
         // Captured receivers, recorded as events once the per-node
         // borrow below is released.
         let mut captured: Vec<usize> = Vec::new();
-        for (n, &power) in powers.iter().enumerate() {
-            if n == src {
-                continue;
-            }
-            let p = power.to_milliwatts();
-            let state = &mut self.states[n];
-            let ambient = NOISE_FLOOR.to_milliwatts() + state.incoming.to_milliwatts();
-            let threshold = frame.rate.min_sinr().to_linear();
-            let decodable =
-                state.transmitting.is_none() && p.value() / ambient.value() >= threshold;
-            state.incoming += power;
-            let incoming_now = state.incoming.to_milliwatts();
-            let mut announced = false;
-            state.lock = match state.lock {
-                None if decodable => {
-                    announced = true;
-                    Some(RxLock {
-                        tx: id,
-                        signal: p,
-                        interference: ambient,
-                        hazard: 0.0,
-                        since: now,
-                        rate: frame.rate,
-                    })
-                }
-                None => None,
-                Some(mut lock) => {
-                    // Close the exposure span at the old interference
-                    // level, then raise it.
-                    lock.accrue(now);
-                    lock.interference = NOISE_FLOOR.to_milliwatts() + incoming_now - lock.signal;
-                    // Preamble capture: the new frame is decodable even
-                    // over the locked signal.
-                    if capture && decodable {
-                        announced = true;
-                        captures += 1;
-                        if observe {
-                            captured.push(n);
-                        }
-                        Some(RxLock {
-                            tx: id,
-                            signal: p,
-                            interference: ambient,
-                            hazard: 0.0,
-                            since: now,
-                            rate: frame.rate,
-                        })
-                    } else {
-                        Some(lock)
+        match &powers {
+            PowerMap::Dense(v) => {
+                for (n, &power) in v.iter().enumerate() {
+                    if n == src || power == QuantizedPower::ZERO {
+                        continue;
                     }
+                    self.receive_begin(n, power, id, frame, now, end, &mut notes, &mut captured);
                 }
-            };
-            if announced
-                && self.inband_announce
-                && matches!(frame.body, crate::frame::FrameBody::Data { .. })
-            {
-                notes.push((
-                    NodeId(n),
-                    PhyNote::Announce {
-                        link: (frame.src, frame.dst),
-                        data_end: end,
-                    },
-                ));
             }
-            notes.push((NodeId(n), PhyNote::Sense));
+            PowerMap::Sparse(v) => {
+                for &(n, power) in v {
+                    self.receive_begin(
+                        n as usize,
+                        power,
+                        id,
+                        frame,
+                        now,
+                        end,
+                        &mut notes,
+                        &mut captured,
+                    );
+                }
+            }
         }
 
-        self.stats.captures += captures;
         if observe {
             for n in captured {
                 self.events.push(SimEvent::Capture {
@@ -577,10 +966,70 @@ impl Medium {
         (id, notes)
     }
 
+    /// Receiver-side bookkeeping when a transmission ends: ledger
+    /// debit, lock resolution (survival draw) and the sense note.
+    fn receive_end(
+        &mut self,
+        n: usize,
+        power: QuantizedPower,
+        id: TxId,
+        frame: Frame,
+        now: SimTime,
+        notes: &mut Vec<(NodeId, PhyNote)>,
+    ) {
+        let observe = self.observe;
+        self.states[n].incoming -= power;
+        if let Some(mut lock) = self.states[n].lock {
+            if lock.tx == id {
+                // Close the final exposure span and draw survival.
+                lock.accrue(now);
+                self.states[n].lock = None;
+                let survive = (-lock.hazard).exp();
+                if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
+                    if observe {
+                        let sinr_db =
+                            10.0 * (lock.signal.value() / lock.interference.value()).log10();
+                        self.events.push(SimEvent::RxResolved {
+                            node: NodeId(n),
+                            src: frame.src,
+                            rssi_dbm: lock.signal.to_dbm().value(),
+                            sinr_db,
+                        });
+                    }
+                    notes.push((
+                        NodeId(n),
+                        PhyNote::Rx {
+                            frame,
+                            rssi: lock.signal.to_dbm(),
+                        },
+                    ));
+                } else {
+                    self.stats.hazard_drops += 1;
+                    if observe {
+                        self.events.push(SimEvent::HazardDrop {
+                            node: NodeId(n),
+                            src: frame.src,
+                        });
+                    }
+                }
+            } else {
+                // The locked frame's interference just dropped: close
+                // its span at the old level.
+                lock.accrue(now);
+                lock.interference = NOISE_FLOOR.to_milliwatts()
+                    + self.states[n].incoming.to_milliwatts()
+                    - lock.signal;
+                self.states[n].lock = Some(lock);
+            }
+        }
+        notes.push((NodeId(n), PhyNote::Sense));
+    }
+
     /// Takes a transmission off the air at `now`, resolving receptions.
     /// Returns per-node notifications (`Rx` for a successful receiver,
     /// `TxDone` for the sender, `Sense` for everyone whose ambient power
-    /// dropped).
+    /// dropped). Receivers the begin culled to exact zero are skipped —
+    /// their ambient power provably did not change.
     ///
     /// # Panics
     ///
@@ -614,55 +1063,20 @@ impl Medium {
         }
 
         let mut notes = Vec::new();
-        for (n, &power) in powers.iter().enumerate() {
-            if n == src {
-                continue;
-            }
-            self.states[n].incoming -= power;
-            if let Some(mut lock) = self.states[n].lock {
-                if lock.tx == id {
-                    // Close the final exposure span and draw survival.
-                    lock.accrue(now);
-                    self.states[n].lock = None;
-                    let survive = (-lock.hazard).exp();
-                    if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
-                        if observe {
-                            let sinr_db =
-                                10.0 * (lock.signal.value() / lock.interference.value()).log10();
-                            self.events.push(SimEvent::RxResolved {
-                                node: NodeId(n),
-                                src: frame.src,
-                                rssi_dbm: lock.signal.to_dbm().value(),
-                                sinr_db,
-                            });
-                        }
-                        notes.push((
-                            NodeId(n),
-                            PhyNote::Rx {
-                                frame,
-                                rssi: lock.signal.to_dbm(),
-                            },
-                        ));
-                    } else {
-                        self.stats.hazard_drops += 1;
-                        if observe {
-                            self.events.push(SimEvent::HazardDrop {
-                                node: NodeId(n),
-                                src: frame.src,
-                            });
-                        }
+        match &powers {
+            PowerMap::Dense(v) => {
+                for (n, &power) in v.iter().enumerate() {
+                    if n == src || power == QuantizedPower::ZERO {
+                        continue;
                     }
-                } else {
-                    // The locked frame's interference just dropped: close
-                    // its span at the old level.
-                    lock.accrue(now);
-                    lock.interference = NOISE_FLOOR.to_milliwatts()
-                        + self.states[n].incoming.to_milliwatts()
-                        - lock.signal;
-                    self.states[n].lock = Some(lock);
+                    self.receive_end(n, power, id, frame, now, &mut notes);
                 }
             }
-            notes.push((NodeId(n), PhyNote::Sense));
+            PowerMap::Sparse(v) => {
+                for &(n, power) in v {
+                    self.receive_end(n as usize, power, id, frame, now, &mut notes);
+                }
+            }
         }
         notes.push((NodeId(src), PhyNote::TxDone { frame }));
         if observe {
@@ -764,9 +1178,15 @@ mod tests {
     fn remote_node_barely_senses() {
         let mut m = medium();
         let (_tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
-        // At 200 m with α = 2.9: ~ −107 dBm, far below the −95 dBm floor.
+        // At 200 m with α = 2.9: ~ −107 dBm, far below the −95 dBm floor
+        // yet above the −120 dBm relevance floor, so it still enters the
+        // ledger.
         let sensed = m.sensed(NodeId(2)).to_dbm();
         assert!(sensed.value() < -94.0, "sensed = {sensed}");
+        assert!(
+            m.sensed(NodeId(2)).value() > NOISE_FLOOR.to_milliwatts().value(),
+            "a −107 dBm link is relevant and must reach the ledger"
+        );
     }
 
     #[test]
@@ -951,5 +1371,145 @@ mod tests {
             assert_eq!(m.ledger_divergence_grains(), 0);
             t += 100;
         }
+    }
+
+    /// A far node (beyond the relevance floor) must see *exactly* no
+    /// effect: no ledger grains, no sense note, no fading draw.
+    #[test]
+    fn sub_floor_link_contributes_exactly_nothing() {
+        let chan = LogNormalShadowing::from_friis(Dbm::new(0.0), 2.9, Db::ZERO);
+        for backend in [MediumBackend::Exhaustive, MediumBackend::Culled] {
+            let mut m = Medium::with_backend(
+                chan,
+                vec![
+                    Position::new(0.0, 0.0),
+                    Position::new(10.0, 0.0),
+                    Position::new(5_000.0, 0.0), // ≈ −147 dBm mean: culled
+                ],
+                true,
+                StdRng::seed_from_u64(1),
+                backend,
+            );
+            let idle = m.sensed(NodeId(2));
+            let (tx, notes) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+            assert_eq!(
+                m.sensed(NodeId(2)),
+                idle,
+                "{backend:?}: ledger must not move"
+            );
+            assert!(
+                !notes.iter().any(|(n, _)| *n == NodeId(2)),
+                "{backend:?}: no note for a culled receiver"
+            );
+            let notes = m.end(tx, end_at(1000));
+            assert!(!notes.iter().any(|(n, _)| *n == NodeId(2)));
+            assert_eq!(m.sensed(NodeId(2)), idle);
+        }
+    }
+
+    /// The candidate set of the culled gather is a superset of the
+    /// relevant set, before and after movement.
+    #[test]
+    fn candidates_cover_the_relevant_set_across_moves() {
+        let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+        let positions: Vec<Position> = (0..12)
+            .map(|i| Position::new(450.0 * (i % 4) as f64, 600.0 * (i / 4) as f64))
+            .collect();
+        let mut m = Medium::new(chan, positions, true, StdRng::seed_from_u64(9));
+        for step in 0..8 {
+            for node in 0..12 {
+                let cand = m.candidate_receivers(NodeId(node));
+                for r in m.relevant_receivers(NodeId(node)) {
+                    assert!(
+                        cand.contains(&r),
+                        "step {step}: node {node} relevant {r} missing from {cand:?}"
+                    );
+                }
+            }
+            let mover = NodeId(step % 12);
+            m.set_position(mover, Position::new(37.0 * step as f64, 210.0));
+        }
+    }
+
+    /// Satellite fix: construction recomputes each of the n(n−1) ordered
+    /// link-cache entries once, and every move recomputes exactly the
+    /// mover's row and column — 2(n−1) entries — never the full table.
+    #[test]
+    fn link_cache_recomputes_only_the_movers_row_and_column() {
+        let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+        let n = 8usize;
+        let positions: Vec<Position> = (0..n)
+            .map(|i| Position::new(9.0 * i as f64, 2.0 * i as f64))
+            .collect();
+        let mut m = Medium::new(chan, positions, true, StdRng::seed_from_u64(5));
+        let after_new = m.counters().cache_recomputes;
+        assert_eq!(after_new, (n * (n - 1)) as u64);
+        for step in 1..=10u64 {
+            m.set_position(NodeId(3), Position::new(1.5 * step as f64, 40.0));
+            assert_eq!(
+                m.counters().cache_recomputes,
+                after_new + step * 2 * (n as u64 - 1),
+                "move {step} must touch exactly 2(n−1) entries"
+            );
+        }
+        // The begin path is pure lookup: no recomputation, one lookup
+        // per relevant receiver.
+        let before = m.counters();
+        let (tx, _) = m.begin(data(0, 1), SimTime::ZERO, end_at(1000));
+        m.end(tx, end_at(1000));
+        let after = m.counters();
+        assert_eq!(after.cache_recomputes, before.cache_recomputes);
+        assert_eq!(
+            after.cache_lookups - before.cache_lookups,
+            after.cull_relevant - before.cull_relevant
+        );
+    }
+
+    /// Both backends walk identical relevant sets and draw identical
+    /// powers, so sensed() agrees bit for bit through churn and moves.
+    #[test]
+    fn backends_agree_through_churn_and_moves() {
+        let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+        let positions: Vec<Position> = (0..10)
+            .map(|i| Position::new(120.0 * (i % 5) as f64, 260.0 * (i / 5) as f64))
+            .collect();
+        let mut ex = Medium::with_backend(
+            chan,
+            positions.clone(),
+            true,
+            StdRng::seed_from_u64(11),
+            MediumBackend::Exhaustive,
+        );
+        let mut cu = Medium::with_backend(
+            chan,
+            positions,
+            true,
+            StdRng::seed_from_u64(11),
+            MediumBackend::Culled,
+        );
+        let mut t = 0u64;
+        for round in 0..120usize {
+            let src = round % 10;
+            let dst = (round + 3) % 10;
+            let (txe, ne) = ex.begin(data(src, dst), end_at(t), end_at(t + 90));
+            let (txc, nc) = cu.begin(data(src, dst), end_at(t), end_at(t + 90));
+            assert_eq!(ne, nc, "round {round}: begin notes diverged");
+            if round % 7 == 0 {
+                let to = Position::new(31.0 * round as f64 % 700.0, 130.0);
+                let mover = NodeId((round + 5) % 10);
+                if !ex.is_transmitting(mover) {
+                    ex.set_position(mover, to);
+                    cu.set_position(mover, to);
+                }
+            }
+            let ne = ex.end(txe, end_at(t + 90));
+            let nc = cu.end(txc, end_at(t + 90));
+            assert_eq!(ne, nc, "round {round}: end notes diverged");
+            for n in 0..10 {
+                assert_eq!(ex.sensed(NodeId(n)), cu.sensed(NodeId(n)));
+            }
+            t += 90;
+        }
+        assert_eq!(ex.stats(), cu.stats());
     }
 }

@@ -14,6 +14,7 @@ use comap_mac::time::SimDuration;
 
 use crate::event::{Event, EventQueue};
 use crate::json::Json;
+use crate::medium::MediumCounters;
 
 /// Count and cumulative wall-clock cost of one event type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +44,10 @@ pub struct RunProfile {
     pub ledger_checks: u64,
     /// Wall-clock nanoseconds spent in ledger verification.
     pub ledger_check_nanos: u64,
+    /// Link-cache and spatial-culling counters of the medium. Exposed
+    /// here (and only here): they depend on the backend, so they must
+    /// never reach a [`SimReport`](crate::stats::SimReport).
+    pub medium_counters: MediumCounters,
 }
 
 impl RunProfile {
@@ -79,6 +84,27 @@ impl RunProfile {
             ),
             ("ledger_checks", Json::Uint(self.ledger_checks)),
             ("ledger_check_nanos", Json::Uint(self.ledger_check_nanos)),
+            (
+                "medium_counters",
+                Json::obj(vec![
+                    (
+                        "cache_recomputes",
+                        Json::Uint(self.medium_counters.cache_recomputes),
+                    ),
+                    (
+                        "cache_lookups",
+                        Json::Uint(self.medium_counters.cache_lookups),
+                    ),
+                    (
+                        "cull_candidates",
+                        Json::Uint(self.medium_counters.cull_candidates),
+                    ),
+                    (
+                        "cull_relevant",
+                        Json::Uint(self.medium_counters.cull_relevant),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -103,6 +129,20 @@ impl RunProfile {
             by_type,
             ledger_checks: v.get("ledger_checks")?.as_u64()?,
             ledger_check_nanos: v.get("ledger_check_nanos")?.as_u64()?,
+            // Absent in profiles from before the culling layer: default
+            // to zeros so older artifacts still parse.
+            medium_counters: v
+                .get("medium_counters")
+                .map(|c| MediumCounters {
+                    cache_recomputes: c
+                        .get("cache_recomputes")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    cache_lookups: c.get("cache_lookups").and_then(Json::as_u64).unwrap_or(0),
+                    cull_candidates: c.get("cull_candidates").and_then(Json::as_u64).unwrap_or(0),
+                    cull_relevant: c.get("cull_relevant").and_then(Json::as_u64).unwrap_or(0),
+                })
+                .unwrap_or_default(),
         })
     }
 
@@ -137,6 +177,20 @@ impl RunProfile {
                 "  ledger checks  {:>9}         {:>8.2} ms",
                 self.ledger_checks,
                 self.ledger_check_nanos as f64 / 1e6
+            );
+        }
+        let mc = self.medium_counters;
+        if mc.cull_candidates > 0 {
+            let culled = mc.cull_candidates - mc.cull_relevant;
+            let _ = writeln!(
+                out,
+                "  medium: {} receiver visits ({} culled, {:.1}%), \
+                 link cache {} lookups / {} recomputes",
+                mc.cull_relevant,
+                culled,
+                100.0 * culled as f64 / mc.cull_candidates as f64,
+                mc.cache_lookups,
+                mc.cache_recomputes
             );
         }
         out
@@ -184,6 +238,7 @@ impl Profiler {
         sim_duration: SimDuration,
         ledger_checks: u64,
         ledger_check_nanos: u64,
+        medium_counters: MediumCounters,
     ) -> RunProfile {
         let wall_nanos = self.start.elapsed().as_nanos() as u64;
         let by_type = Event::KIND_NAMES
@@ -203,6 +258,7 @@ impl Profiler {
             by_type,
             ledger_checks,
             ledger_check_nanos,
+            medium_counters,
         }
     }
 }
@@ -231,6 +287,12 @@ mod tests {
             ],
             ledger_checks: 1_200,
             ledger_check_nanos: 90_000,
+            medium_counters: MediumCounters {
+                cache_recomputes: 30,
+                cache_lookups: 4_400,
+                cull_candidates: 5_000,
+                cull_relevant: 4_400,
+            },
         }
     }
 
@@ -250,6 +312,19 @@ mod tests {
         let p = sample();
         let text = p.to_json().to_string_compact();
         let back = RunProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn profiles_without_medium_counters_still_parse() {
+        let mut p = sample();
+        p.medium_counters = MediumCounters::default();
+        let text = p.to_json().to_string_compact();
+        // A profile written before the culling layer existed has no
+        // medium_counters object; it must parse with zeroed counters.
+        let idx = text.find(",\"medium_counters\"").expect("field present");
+        let legacy = format!("{}}}", &text[..idx]);
+        let back = RunProfile::from_json(&Json::parse(&legacy).unwrap()).unwrap();
         assert_eq!(back, p);
     }
 

@@ -65,11 +65,12 @@ impl Simulator {
             .map(|p| p.with_error(cfg.position_error, &mut error_rng))
             .collect();
 
-        let mut medium = Medium::new(
+        let mut medium = Medium::with_backend(
             cfg.protocol.channel,
             true_positions.clone(),
             cfg.capture,
             medium_rng,
+            cfg.backend,
         );
         medium.set_inband_announce(cfg.inband_header);
 
@@ -221,6 +222,7 @@ impl Simulator {
                 duration,
                 self.report.medium.ledger_checks,
                 self.medium.ledger_check_nanos(),
+                self.medium.counters(),
             )
         });
         (self.report, profile)
