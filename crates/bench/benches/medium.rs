@@ -90,6 +90,38 @@ fn backend_cycle_bench(
     });
 }
 
+/// One begin/end cycle plus one random-waypoint `set_position` per
+/// iteration: the fig_scale mobility duty cycle, condensed. The mover is
+/// always distinct from the transmitter, so the move never races an
+/// active transmission of its own.
+fn mobile_cycle_bench(
+    c: &mut Criterion,
+    name: &str,
+    positions: Vec<Position>,
+    backend: MediumBackend,
+) {
+    let n = positions.len();
+    let side = 14000.0;
+    let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+    let mut m = Medium::with_backend(chan, positions, true, StdRng::seed_from_u64(7), backend);
+    let mut wp = StdRng::seed_from_u64(1234);
+    let mut t = 0u64;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let src = (t / 100) as usize % n;
+            let (tx, _) = m.begin(data(src, (src + 1) % n), at(t), at(t + 100));
+            let notes = m.end(tx, at(t + 100));
+            let mover = (src + n / 2) % n;
+            m.set_position(
+                NodeId(mover),
+                Position::new(wp.gen_range(0.0..side), wp.gen_range(0.0..side)),
+            );
+            t += 100;
+            black_box(notes)
+        })
+    });
+}
+
 fn bench_medium(c: &mut Criterion) {
     cycle_bench(c, "medium_cycle_10_nodes_sigma0", Db::ZERO);
     cycle_bench(c, "medium_cycle_10_nodes_shadowed", Db::new(4.0));
@@ -125,6 +157,16 @@ fn bench_medium(c: &mut Criterion) {
         c,
         "medium_cycle_6_nodes_culled",
         testbed6,
+        MediumBackend::Culled,
+    );
+
+    // The mobility acceptance pair: the same 150-node scatter, but every
+    // cycle also moves one (non-transmitting) node to a fresh waypoint —
+    // the random-waypoint churn that makes `set_position` the hot path.
+    mobile_cycle_bench(
+        c,
+        "medium_cycle_150_nodes_mobile_culled",
+        scatter(150, 14000.0),
         MediumBackend::Culled,
     );
 

@@ -31,6 +31,23 @@ fn main() {
     );
     check(profile.sim_nanos > 0, "no simulated time elapsed");
 
+    // The lazy link cache must never recompute more directed entries
+    // than it serves: recomputes > lookups means rows are being thrown
+    // away before they are read (the mobility cache-thrash bug).
+    let mc = profile.medium_counters;
+    if mc.cache_lookups > 0 {
+        check(
+            mc.cache_recomputes <= mc.cache_lookups,
+            "link cache thrash: cache_recomputes exceeds cache_lookups",
+        );
+        println!(
+            "link cache recompute/lookup ratio: {:.3} ({} / {})",
+            mc.cache_recomputes as f64 / mc.cache_lookups as f64,
+            mc.cache_recomputes,
+            mc.cache_lookups
+        );
+    }
+
     print!("{}", profile.summary());
     println!("profile OK: {path}");
 }

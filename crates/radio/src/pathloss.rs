@@ -140,6 +140,17 @@ impl LogNormalShadowing {
         self.p_d0 - Db::new(10.0 * self.alpha * (d / self.d0).log10())
     }
 
+    /// Mean received power of a *link* at `distance`: [`mean_power`]
+    /// behind the 1 m near-field clamp every link-cache fill applies.
+    /// Two radios cannot be closer than about a meter of usable path,
+    /// so the clamp keeps co-located test topologies finite — hoisted
+    /// here so the clamp cannot drift between call sites.
+    ///
+    /// [`mean_power`]: LogNormalShadowing::mean_power
+    pub fn link_mean_at(&self, distance: Meters) -> Dbm {
+        self.mean_power(distance.max(Meters::new(1.0)))
+    }
+
     /// A random received-power sample at `distance`: eq. (1) with a fresh
     /// shadowing draw `X_σ ~ N(0, σ²)`.
     pub fn sample_power<R: Rng + ?Sized>(&self, distance: Meters, rng: &mut R) -> Dbm {
@@ -232,6 +243,19 @@ mod tests {
         let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
         assert_eq!(chan.mean_power(Meters::ZERO), chan.reference_power());
         assert_eq!(chan.mean_power(Meters::new(0.5)), chan.reference_power());
+    }
+
+    #[test]
+    fn link_mean_clamps_the_near_field_to_one_meter() {
+        let chan = LogNormalShadowing::testbed(Dbm::new(0.0));
+        let at_1m = chan.link_mean_at(Meters::new(1.0));
+        assert_eq!(chan.link_mean_at(Meters::ZERO), at_1m);
+        assert_eq!(chan.link_mean_at(Meters::new(0.2)), at_1m);
+        // Beyond the clamp the helper is plain mean_power.
+        assert_eq!(
+            chan.link_mean_at(Meters::new(35.0)),
+            chan.mean_power(Meters::new(35.0))
+        );
     }
 
     #[test]

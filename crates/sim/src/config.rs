@@ -200,6 +200,12 @@ pub struct SimConfig {
     /// bit-identical (the differential harness pins it); `Culled` is
     /// only faster, so it is the default.
     pub backend: MediumBackend,
+    /// Grid resolution the physics snap *true* positions onto: moves
+    /// that stay inside one quantum cell coalesce into no-ops instead of
+    /// invalidating the mover's link cache. The default (1 m) sits far
+    /// below the shadowing deviation, so the snap is physically
+    /// invisible; [`Meters::ZERO`] disables quantization entirely.
+    pub position_quantum: Meters,
     /// Nodes, indexed by [`NodeId`].
     pub nodes: Vec<NodeSpec>,
     /// Traffic matrix.
@@ -232,6 +238,7 @@ impl SimConfig {
             preamble_cs: true,
             inband_header: false,
             backend: MediumBackend::Culled,
+            position_quantum: Meters::new(crate::medium::DEFAULT_POSITION_QUANTUM_M),
             nodes: Vec::new(),
             flows: Vec::new(),
         }

@@ -103,6 +103,14 @@ impl RunProfile {
                         "cull_relevant",
                         Json::Uint(self.medium_counters.cull_relevant),
                     ),
+                    (
+                        "moves_applied",
+                        Json::Uint(self.medium_counters.moves_applied),
+                    ),
+                    (
+                        "moves_coalesced",
+                        Json::Uint(self.medium_counters.moves_coalesced),
+                    ),
                 ]),
             ),
         ])
@@ -141,6 +149,8 @@ impl RunProfile {
                     cache_lookups: c.get("cache_lookups").and_then(Json::as_u64).unwrap_or(0),
                     cull_candidates: c.get("cull_candidates").and_then(Json::as_u64).unwrap_or(0),
                     cull_relevant: c.get("cull_relevant").and_then(Json::as_u64).unwrap_or(0),
+                    moves_applied: c.get("moves_applied").and_then(Json::as_u64).unwrap_or(0),
+                    moves_coalesced: c.get("moves_coalesced").and_then(Json::as_u64).unwrap_or(0),
                 })
                 .unwrap_or_default(),
         })
@@ -191,6 +201,13 @@ impl RunProfile {
                 100.0 * culled as f64 / mc.cull_candidates as f64,
                 mc.cache_lookups,
                 mc.cache_recomputes
+            );
+        }
+        if mc.moves_applied + mc.moves_coalesced > 0 {
+            let _ = writeln!(
+                out,
+                "  mobility: {} moves applied, {} coalesced by quantization",
+                mc.moves_applied, mc.moves_coalesced
             );
         }
         out
@@ -292,6 +309,8 @@ mod tests {
                 cache_lookups: 4_400,
                 cull_candidates: 5_000,
                 cull_relevant: 4_400,
+                moves_applied: 12,
+                moves_coalesced: 3,
             },
         }
     }
@@ -326,6 +345,49 @@ mod tests {
         let legacy = format!("{}}}", &text[..idx]);
         let back = RunProfile::from_json(&Json::parse(&legacy).unwrap()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn zero_wall_time_round_trips_without_dividing() {
+        // A degenerate (instantaneous) run: events_per_sec must guard
+        // the division, and the serialized 0 must survive the trip.
+        let p = RunProfile {
+            wall_nanos: 0,
+            ..sample()
+        };
+        let text = p.to_json().to_string_compact();
+        let back = RunProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn empty_by_type_round_trips() {
+        let p = RunProfile {
+            events: 0,
+            by_type: Vec::new(),
+            ..sample()
+        };
+        let text = p.to_json().to_string_compact();
+        let back = RunProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert!(back.by_type.is_empty());
+    }
+
+    #[test]
+    fn profiles_without_move_counters_parse_with_zeros() {
+        // A medium_counters object from before the mobility rework has
+        // no move counters: they default to zero, everything else holds.
+        let legacy = r#"{"events":10,"wall_nanos":5,"sim_nanos":9,
+            "queue_peak":1,"by_type":[],
+            "ledger_checks":0,"ledger_check_nanos":0,
+            "medium_counters":{"cache_recomputes":2,"cache_lookups":8,
+            "cull_candidates":9,"cull_relevant":8}}"#;
+        let back = RunProfile::from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(back.medium_counters.cache_recomputes, 2);
+        assert_eq!(back.medium_counters.cache_lookups, 8);
+        assert_eq!(back.medium_counters.moves_applied, 0);
+        assert_eq!(back.medium_counters.moves_coalesced, 0);
     }
 
     #[test]

@@ -65,12 +65,13 @@ impl Simulator {
             .map(|p| p.with_error(cfg.position_error, &mut error_rng))
             .collect();
 
-        let mut medium = Medium::with_backend(
+        let mut medium = Medium::with_quantization(
             cfg.protocol.channel,
             true_positions.clone(),
             cfg.capture,
             medium_rng,
             cfg.backend,
+            cfg.position_quantum,
         );
         medium.set_inband_announce(cfg.inband_header);
 
@@ -278,10 +279,11 @@ impl Simulator {
                 }
             }
         }
-        // Geometry changed: every MAC re-evaluates its channel state.
-        for i in 0..n {
-            self.dispatch(NodeId(i), MacEvent::Sense);
-        }
+        // No Sense dispatch: a move changes no ambient power (active
+        // transmissions keep the powers they were drawn with), so no
+        // carrier-sense or RSSI-watchdog comparison can flip. Geometry-
+        // dependent decisions pick up the new positions at the next
+        // event that actually evaluates them. See DESIGN.md §8.
     }
 
     fn dispatch(&mut self, node: NodeId, event: MacEvent) {

@@ -6,6 +6,10 @@
 //! 2. **Exactness** — the culled and exhaustive backends stay
 //!    bit-identical (`sensed()` and every notification) under arbitrary
 //!    interleavings of `begin` / `end` / `set_position`.
+//! 3. **Overflow hygiene** — after arbitrary movement, every node's
+//!    overflow list equals a from-scratch recomputation of its
+//!    membership predicate: moving a node out of overflow range leaves
+//!    no stale up-fade entry behind in anyone's list.
 
 use comap_mac::time::{SimDuration, SimTime};
 use comap_radio::pathloss::LogNormalShadowing;
@@ -87,6 +91,45 @@ proptest! {
                 }
             }
             m.set_position(NodeId(node % n), Position::new(x, y));
+        }
+    }
+
+    /// Overflow lists stay exact under movement: each list equals the
+    /// brute-force set of beyond-range-but-relevant peers, so a mover
+    /// that leaves overflow range is purged from every other node's
+    /// list (the satellite bug: only the mover's own list was cleared).
+    #[test]
+    fn overflow_lists_have_no_stale_entries_after_moves(
+        seed in 0u64..10_000,
+        moves in prop::collection::vec(
+            // Spread targets over several relevance ranges so nodes
+            // genuinely enter and leave overflow reach of each other.
+            (0usize..10, 0.0f64..4200.0, 0.0f64..4200.0), 1..14),
+    ) {
+        let n = 6 + (seed % 5) as usize;
+        let (_, mut m) = pair(seed, n, 3600.0);
+        let range = m.relevance_range().value();
+        for (step, (node, x, y)) in moves.into_iter().enumerate() {
+            m.set_position(NodeId(node % n), Position::new(x, y));
+            for a in 0..n {
+                let expected: Vec<NodeId> = (0..n)
+                    .filter(|&b| {
+                        b != a
+                            && m.position(NodeId(a))
+                                .distance_to(m.position(NodeId(b)))
+                                .value()
+                                > range
+                            && m.relevant_receivers(NodeId(a)).contains(&NodeId(b))
+                    })
+                    .map(NodeId)
+                    .collect();
+                prop_assert_eq!(
+                    m.overflow_peers(NodeId(a)),
+                    expected,
+                    "step {}: node {} overflow list diverged from brute force",
+                    step, a
+                );
+            }
         }
     }
 
