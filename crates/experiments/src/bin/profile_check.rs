@@ -15,8 +15,7 @@ fn main() {
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
-    let profile =
-        RunProfile::from_json(&json).unwrap_or_else(|| fail(&format!("{path}: not a run profile")));
+    let profile = RunProfile::from_json(&json).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
 
     check(profile.events > 0, "no events were processed");
     check(

@@ -11,6 +11,9 @@
 //!   stages, SINR) after the experiment's own output.
 //! * `--profile-json=<path>` — profile the event loop of the same run
 //!   and write the [`RunProfile`] JSON to `<path>`.
+//! * `--latency-json=<path>` — attach a [`LatencySink`] to the same
+//!   run, print per-node and aggregate end-to-end latency percentiles
+//!   (p50/p95/p99) and write the latency section to `<path>` as JSON.
 //!
 //! The instrumented run is *additional* to the experiment itself: the
 //! figures average over many seeds and attach no sinks, so their numbers
@@ -22,7 +25,8 @@ use std::process::exit;
 
 use comap_mac::time::SimDuration;
 use comap_sim::config::{MacFeatures, SimConfig};
-use comap_sim::{JsonlSink, MetricsSink, Simulator};
+use comap_sim::json::SCHEMA_VERSION;
+use comap_sim::{Json, JsonlSink, LatencyHistogram, LatencySink, MetricsSink, Simulator};
 
 use crate::topology;
 
@@ -35,6 +39,9 @@ pub struct Instrumentation {
     pub metrics: bool,
     /// Write the event-loop profile of the representative run here.
     pub profile_json: Option<PathBuf>,
+    /// Write the latency section of the representative run here and
+    /// print its end-to-end percentiles.
+    pub latency_json: Option<PathBuf>,
 }
 
 impl Instrumentation {
@@ -52,7 +59,10 @@ impl Instrumentation {
 
     /// `true` when any instrumentation flag was given.
     pub fn any(&self) -> bool {
-        self.trace.is_some() || self.metrics || self.profile_json.is_some()
+        self.trace.is_some()
+            || self.metrics
+            || self.profile_json.is_some()
+            || self.latency_json.is_some()
     }
 
     fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
@@ -74,6 +84,12 @@ impl Instrumentation {
                 let v = args.get(i).ok_or("--profile-json requires a path")?;
                 i += 1;
                 inst.profile_json = Some(PathBuf::from(v));
+            } else if let Some(v) = arg.strip_prefix("--latency-json=") {
+                inst.latency_json = Some(PathBuf::from(v));
+            } else if arg == "--latency-json" {
+                let v = args.get(i).ok_or("--latency-json requires a path")?;
+                i += 1;
+                inst.latency_json = Some(PathBuf::from(v));
             } else if arg == "--metrics" {
                 inst.metrics = true;
             }
@@ -99,6 +115,9 @@ impl Instrumentation {
         if self.metrics {
             sim.attach_sink(Box::new(MetricsSink::new()));
         }
+        if self.latency_json.is_some() {
+            sim.attach_sink(Box::new(LatencySink::new()));
+        }
 
         println!(
             "\n== instrumentation: one representative {name} run ({} ms) ==",
@@ -120,6 +139,29 @@ impl Instrumentation {
 
         if let Some(path) = &self.trace {
             println!("event trace written to {}", path.display());
+        }
+        if let Some(path) = &self.latency_json {
+            let latency = report
+                .metrics
+                .as_ref()
+                .and_then(|m| m.latency.as_ref())
+                // simlint: allow(panic-policy) — the run above attached a LatencySink whenever latency_json is set
+                .expect("LatencySink was attached");
+            for (node, l) in &latency.nodes {
+                print_latency_line(&format!("node {node}"), &l.e2e, l.delivered, l.dropped);
+            }
+            let agg = latency.aggregate();
+            print_latency_line("aggregate", &agg.e2e, agg.delivered, agg.dropped);
+            let artifact = Json::obj(vec![
+                ("schema_version", Json::Uint(SCHEMA_VERSION)),
+                ("experiment", Json::str(name)),
+                ("latency", latency.to_json()),
+            ]);
+            if let Err(e) = std::fs::write(path, artifact.to_string_compact() + "\n") {
+                eprintln!("error: cannot write latency JSON {}: {e}", path.display());
+                exit(1);
+            }
+            println!("latency section written to {}", path.display());
         }
         if self.metrics {
             // simlint: allow(panic-policy) — the run above attached a MetricsSink whenever self.metrics is set
@@ -144,6 +186,21 @@ impl Instrumentation {
             }
         }
     }
+}
+
+/// Prints one end-to-end latency summary line (p50/p95/p99).
+fn print_latency_line(label: &str, e2e: &LatencyHistogram, delivered: u64, dropped: u64) {
+    let q = |p: f64| {
+        e2e.quantile(p)
+            .map(|ns| format!("{:.3} ms", ns as f64 / 1e6))
+            .unwrap_or_else(|| "n/a".to_string())
+    };
+    println!(
+        "  {label:<10} e2e p50 {} p95 {} p99 {}  ({delivered} delivered, {dropped} dropped)",
+        q(0.50),
+        q(0.95),
+        q(0.99)
+    );
 }
 
 /// A representative configuration of the named experiment: the
@@ -193,10 +250,12 @@ mod tests {
             "--metrics",
             "--profile-json",
             "/tmp/p.json",
+            "--latency-json=/tmp/l.json",
         ]);
         assert_eq!(inst.trace, Some(PathBuf::from("/tmp/a.jsonl")));
         assert!(inst.metrics);
         assert_eq!(inst.profile_json, Some(PathBuf::from("/tmp/p.json")));
+        assert_eq!(inst.latency_json, Some(PathBuf::from("/tmp/l.json")));
         assert!(inst.any());
     }
 

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bench_diff;
 pub mod fig01;
 pub mod fig02;
 pub mod fig07;

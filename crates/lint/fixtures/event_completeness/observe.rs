@@ -12,6 +12,11 @@ pub enum SimEvent {
     BareOrphan,
     /// Constructed without braces — no finding.
     BareUsed,
+    /// Frame-lifecycle shape, emitted through a wrapper call — no
+    /// finding.
+    FrameTx { node: u32, dst: u32, seq: u64 },
+    /// Frame-lifecycle shape, matched but never constructed — finding.
+    FrameOrphaned { node: u32, dst: u32, seq: u64 },
 }
 
 impl SimEvent {
@@ -22,6 +27,8 @@ impl SimEvent {
             SimEvent::Orphan { .. } => "orphan",
             SimEvent::BareOrphan => "bare_orphan",
             SimEvent::BareUsed => "bare_used",
+            SimEvent::FrameTx { .. } => "frame_tx",
+            SimEvent::FrameOrphaned { .. } => "frame_orphaned",
         }
     }
 }

@@ -25,3 +25,19 @@ pub fn classify(e: &SimEvent) -> u32 {
 pub fn is_orphan(e: &SimEvent) -> bool {
     matches!(e, SimEvent::Orphan { .. })
 }
+
+pub fn queue(out: &mut Vec<SimEvent>, node: u32, dst: u32, seq: u64) {
+    // Emission through a wrapper call, as the MAC does with
+    // `MacAction::Emit(...)`: still counts as construction.
+    out.push(SimEvent::FrameTx { node, dst, seq });
+}
+
+pub fn frame_kind(e: &SimEvent) -> Option<u64> {
+    // Patterns over frame-lifecycle variants are not emissions:
+    // FrameOrphaned stays an orphan.
+    match e {
+        SimEvent::FrameTx { seq, .. } => Some(*seq),
+        SimEvent::FrameOrphaned { seq, .. } => Some(*seq),
+        _ => None,
+    }
+}

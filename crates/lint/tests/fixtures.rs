@@ -140,6 +140,7 @@ fn event_completeness_fixture_is_fully_detected() {
     let expected = vec![
         line_of(observe, "Orphan { node: u32 },"),
         line_of(observe, "BareOrphan,"),
+        line_of(observe, "FrameOrphaned { node: u32, dst: u32, seq: u64 },"),
     ];
     assert_eq!(lines_for(&files, Rule::EventCompleteness), expected);
     let outcome = lint_files(&files);
@@ -150,6 +151,10 @@ fn event_completeness_fixture_is_fully_detected() {
         .collect();
     assert!(messages[0].contains("SimEvent::Orphan"), "{messages:?}");
     assert!(messages[1].contains("SimEvent::BareOrphan"), "{messages:?}");
+    assert!(
+        messages[2].contains("SimEvent::FrameOrphaned"),
+        "{messages:?}"
+    );
 }
 
 #[test]

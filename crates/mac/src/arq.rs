@@ -180,11 +180,20 @@ impl SelectiveRepeatSender {
     /// Applies an ACK, marking in-window frames delivered and sliding the
     /// window. Returns the number of frames newly confirmed delivered.
     pub fn on_ack(&mut self, ack: Ack) -> usize {
+        self.on_ack_with(ack, |_| {})
+    }
+
+    /// Like [`on_ack`](Self::on_ack), but reports each newly confirmed
+    /// sequence number (in window order) to `newly_acked` — the hook
+    /// instrumentation uses to close per-frame latency spans without
+    /// changing the window bookkeeping.
+    pub fn on_ack_with(&mut self, ack: Ack, mut newly_acked: impl FnMut(Seq)) -> usize {
         let mut newly = 0;
         for entry in &mut self.window {
             if !entry.acked && ack.acknowledges(entry.seq) {
                 entry.acked = true;
                 newly += 1;
+                newly_acked(entry.seq);
             }
         }
         while matches!(self.window.front(), Some(e) if e.acked) {
@@ -359,6 +368,26 @@ mod tests {
         assert!(ack.acknowledges(2));
         assert!(!ack.acknowledges(3));
         assert!(ack.acknowledges(5));
+    }
+
+    #[test]
+    fn on_ack_with_reports_each_newly_acked_seq_once() {
+        let mut tx = SelectiveRepeatSender::new(4);
+        let mut rx = SelectiveRepeatReceiver::new();
+        let s: Vec<Seq> = (0..3).map(|_| tx.enqueue(100).unwrap()).collect();
+        for &seq in &s {
+            tx.mark_sent(seq).unwrap();
+        }
+        rx.on_frame(s[0]);
+        rx.on_frame(s[2]);
+        let mut reported = Vec::new();
+        let newly = tx.on_ack_with(rx.ack(), |seq| reported.push(seq));
+        assert_eq!(newly, 2);
+        assert_eq!(reported, vec![s[0], s[2]]);
+        // A duplicate ACK reports nothing new.
+        reported.clear();
+        assert_eq!(tx.on_ack_with(rx.ack(), |seq| reported.push(seq)), 0);
+        assert!(reported.is_empty());
     }
 
     #[test]

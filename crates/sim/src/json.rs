@@ -12,6 +12,63 @@
 
 use std::fmt::Write as _;
 
+/// Version stamped into every JSON artifact this crate emits
+/// ([`crate::stats::SimReport`], [`crate::metrics::Metrics`],
+/// [`crate::profile::RunProfile`] and the `results/BENCH_*.json` files
+/// built from them). Bump it whenever a schema changes shape so stale
+/// artifacts are rejected with a clear error instead of misparsed.
+///
+/// History: v1 = unstamped pre-latency artifacts (through the mobility
+/// rewrite); v2 = `schema_version` stamps + the latency section.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// An artifact failed schema validation: wrong or missing
+/// `schema_version`, or a malformed/absent required field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl SchemaError {
+    /// Builds an error from any printable message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SchemaError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Validates the `schema_version` stamp of an artifact object named
+/// `what` (used in the error text).
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] naming the artifact when the stamp is
+/// missing (a pre-v2 artifact) or does not equal [`SCHEMA_VERSION`] —
+/// the fix is to regenerate the artifact with the current binaries.
+pub fn check_schema_version(v: &Json, what: &str) -> Result<(), SchemaError> {
+    match v.get("schema_version").and_then(Json::as_u64) {
+        Some(found) if found == SCHEMA_VERSION => Ok(()),
+        Some(found) => Err(SchemaError::new(format!(
+            "{what}: schema_version {found}, expected {SCHEMA_VERSION} — \
+             regenerate the artifact with the current binaries"
+        ))),
+        None => Err(SchemaError::new(format!(
+            "{what}: missing schema_version (pre-v{SCHEMA_VERSION} artifact) — \
+             regenerate the artifact with the current binaries"
+        ))),
+    }
+}
+
 /// A JSON value.
 ///
 /// Unsigned integers get their own variant so `u64` counters survive a

@@ -67,6 +67,7 @@ pub mod config;
 pub mod event;
 pub mod frame;
 pub mod json;
+pub mod latency;
 pub mod mac;
 pub mod medium;
 pub mod metrics;
@@ -79,6 +80,7 @@ pub mod stats;
 pub use config::{MacFeatures, NodeSpec, SimConfig, Traffic};
 pub use frame::{Frame, NodeId};
 pub use json::Json;
+pub use latency::{Latency, LatencyHistogram, LatencySink, NodeLatency};
 pub use medium::{MediumBackend, MediumCounters};
 pub use metrics::{Metrics, MetricsSink};
 pub use observe::{JsonlSink, NoopSink, Observer, SimEvent, TimelineHandle, TimelineSink};

@@ -149,6 +149,9 @@ struct PendingFrame {
     seq: u64,
     payload: u32,
     retry: bool,
+    /// Zero-based transmission attempt this service round corresponds
+    /// to — carried so [`SimEvent::FrameTx`] can label the on-air try.
+    attempt: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -562,7 +565,7 @@ impl Mac {
                         if let Some(p) = self.pending {
                             out.push(MacAction::CancelFlowTimer);
                             self.state = FlowState::TxData;
-                            let data = self.data_frame(p, ctx);
+                            let data = self.data_frame(p, ctx, out);
                             out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
                             out.push(MacAction::Transmit(data));
                         }
@@ -613,10 +616,21 @@ impl Mac {
         }
         if self.cfg.features.selective_repeat {
             self.sr_retries.insert(from, 0);
+            let node = self.cfg.id;
             if let (Some(window), Some(sr)) = (self.arq_tx.get_mut(&from), sr) {
                 // Goodput is accounted at the receiver; the window only
                 // needs the ACK to slide.
-                let acked = window.on_ack(sr);
+                let acked = if ctx.observing {
+                    window.on_ack_with(sr, |seq| {
+                        out.push(MacAction::Emit(SimEvent::FrameAcked {
+                            node,
+                            dst: from,
+                            seq,
+                        }));
+                    })
+                } else {
+                    window.on_ack(sr)
+                };
                 if ctx.observing && acked > 0 {
                     out.push(MacAction::Emit(SimEvent::Dequeue {
                         node: self.cfg.id,
@@ -639,6 +653,11 @@ impl Mac {
                     self.retries = 0;
                     out.push(MacAction::CancelFlowTimer);
                     if ctx.observing {
+                        out.push(MacAction::Emit(SimEvent::FrameAcked {
+                            node: self.cfg.id,
+                            dst: from,
+                            seq,
+                        }));
                         out.push(MacAction::Emit(SimEvent::Dequeue {
                             node: self.cfg.id,
                             dst: from,
@@ -656,7 +675,7 @@ impl Mac {
                 // Data follows back-to-back.
                 if let Some(p) = self.pending {
                     self.state = FlowState::TxData;
-                    let data = self.data_frame(p, ctx);
+                    let data = self.data_frame(p, ctx, out);
                     out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
                     out.push(MacAction::Transmit(data));
                 } else {
@@ -767,6 +786,11 @@ impl Mac {
                         node: self.cfg.id,
                         dst: p.dst,
                     }));
+                    out.push(MacAction::Emit(SimEvent::FrameDropped {
+                        node: self.cfg.id,
+                        dst: p.dst,
+                        seq: p.seq,
+                    }));
                     out.push(MacAction::Emit(SimEvent::Dequeue {
                         node: self.cfg.id,
                         dst: p.dst,
@@ -777,7 +801,11 @@ impl Mac {
                 self.retries = 0;
                 self.state = FlowState::Idle;
             } else {
-                self.pending = Some(PendingFrame { retry: true, ..p });
+                self.pending = Some(PendingFrame {
+                    retry: true,
+                    attempt: self.retries,
+                    ..p
+                });
                 self.backoff =
                     Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
                 if ctx.observing {
@@ -954,13 +982,16 @@ impl Mac {
             // Keep the window full.
             while window.has_room() && flow.traffic.available() >= f64::from(payload) {
                 flow.traffic.take(payload);
-                window.enqueue(payload);
+                let seq = window.enqueue(payload);
                 if ctx.observing {
                     out.push(MacAction::Emit(SimEvent::Enqueue {
                         node,
                         dst,
                         depth: window.outstanding() as u32,
                     }));
+                    if let Some(seq) = seq {
+                        out.push(MacAction::Emit(SimEvent::FrameQueued { node, dst, seq }));
+                    }
                 }
             }
             loop {
@@ -971,6 +1002,7 @@ impl Mac {
                     out.push(MacAction::Stat(StatEvent::Drop { dst }));
                     if ctx.observing {
                         out.push(MacAction::Emit(SimEvent::Drop { node, dst }));
+                        out.push(MacAction::Emit(SimEvent::FrameDropped { node, dst, seq }));
                         out.push(MacAction::Emit(SimEvent::Dequeue {
                             node,
                             dst,
@@ -992,6 +1024,7 @@ impl Mac {
                     seq,
                     payload,
                     retry: attempts > 0,
+                    attempt: attempts,
                 });
             }
         } else {
@@ -1005,12 +1038,14 @@ impl Mac {
                         dst,
                         depth: 1,
                     }));
+                    out.push(MacAction::Emit(SimEvent::FrameQueued { node, dst, seq }));
                 }
                 return Some(PendingFrame {
                     dst,
                     seq,
                     payload,
                     retry: false,
+                    attempt: 0,
                 });
             }
             None
@@ -1121,13 +1156,21 @@ impl Mac {
             out.push(MacAction::Transmit(header));
         } else {
             self.state = FlowState::TxData;
-            let frame = self.data_frame(p, ctx);
+            let frame = self.data_frame(p, ctx, out);
             out.push(MacAction::Stat(StatEvent::DataTx { dst: p.dst }));
             out.push(MacAction::Transmit(frame));
         }
     }
 
-    fn data_frame(&mut self, p: PendingFrame, _ctx: MacCtx) -> Frame {
+    fn data_frame(&mut self, p: PendingFrame, ctx: MacCtx, out: &mut Vec<MacAction>) -> Frame {
+        if ctx.observing {
+            out.push(MacAction::Emit(SimEvent::FrameTx {
+                node: self.cfg.id,
+                dst: p.dst,
+                seq: p.seq,
+                attempt: p.attempt,
+            }));
+        }
         let rate = self.rate_for(p.dst);
         self.last_data_rate = Some(rate);
         Frame {

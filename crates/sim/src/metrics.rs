@@ -9,18 +9,33 @@
 //! round-trips through JSON losslessly and compares with `==`.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::mem;
 
 use comap_mac::time::SimTime;
 
 use crate::frame::NodeId;
-use crate::json::Json;
+use crate::json::{check_schema_version, Json, SchemaError, SCHEMA_VERSION};
+use crate::latency::Latency;
 use crate::observe::{Observer, SimEvent};
 use crate::stats::SimReport;
 
 /// Highest backoff escalation stage tracked individually; draws beyond
 /// it are folded into the last bin.
 pub const MAX_BACKOFF_STAGE: usize = 15;
+
+/// Error returned by [`Histogram::merge`] when the two histograms do
+/// not share the same binning (`lo`, `bin_width`, bin count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinningMismatch;
+
+impl fmt::Display for BinningMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histograms have different binnings and cannot merge")
+    }
+}
+
+impl std::error::Error for BinningMismatch {}
 
 /// A fixed-bin histogram over `f64` samples.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +54,10 @@ pub struct Histogram {
     pub count: u64,
     /// Sum of all samples (for the mean).
     pub sum: f64,
+    /// Exact smallest sample, `None` when empty.
+    pub min: Option<f64>,
+    /// Exact largest sample, `None` when empty.
+    pub max: Option<f64>,
 }
 
 impl Histogram {
@@ -53,6 +72,8 @@ impl Histogram {
             overflow: 0,
             count: 0,
             sum: 0.0,
+            min: None,
+            max: None,
         }
     }
 
@@ -60,6 +81,8 @@ impl Histogram {
     pub fn record(&mut self, sample: f64) {
         self.count += 1;
         self.sum += sample;
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
         if sample < self.lo {
             self.underflow += 1;
             return;
@@ -76,8 +99,67 @@ impl Histogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
+    /// The `p`-quantile (`p` clamped into `[0, 1]`) by exact sample
+    /// rank. Ranks landing in the underflow mass report the exact
+    /// `min`, ranks in the overflow mass the exact `max`, and in-range
+    /// ranks their bin's midpoint clamped into `[min, max]`. `None`
+    /// when empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        let p = p.clamp(0.0, 1.0);
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count) - 1;
+        if rank < self.underflow {
+            return Some(min);
+        }
+        let mut cum = self.underflow;
+        for (bin, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum > rank {
+                let mid = self.lo + (bin as f64 + 0.5) * self.bin_width;
+                return Some(mid.clamp(min, max));
+            }
+        }
+        Some(max)
+    }
+
+    /// Adds every sample of `other` into `self` — exact bin-wise
+    /// addition, equivalent to having recorded the concatenated
+    /// streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinningMismatch`] (leaving `self` untouched) unless
+    /// both histograms share `lo`, `bin_width` and bin count exactly.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), BinningMismatch> {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.bin_width.to_bits() != other.bin_width.to_bits()
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(BinningMismatch);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        Ok(())
+    }
+
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("lo", Json::Num(self.lo)),
             ("bin_width", Json::Num(self.bin_width)),
             (
@@ -88,7 +170,14 @@ impl Histogram {
             ("overflow", Json::Uint(self.overflow)),
             ("count", Json::Uint(self.count)),
             ("sum", Json::Num(self.sum)),
-        ])
+        ];
+        if let Some(min) = self.min {
+            fields.push(("min", Json::Num(min)));
+        }
+        if let Some(max) = self.max {
+            fields.push(("max", Json::Num(max)));
+        }
+        Json::obj(fields)
     }
 
     fn from_json(v: &Json) -> Option<Histogram> {
@@ -105,6 +194,8 @@ impl Histogram {
             overflow: v.get("overflow")?.as_u64()?,
             count: v.get("count")?.as_u64()?,
             sum: v.get("sum")?.as_f64()?,
+            min: v.get("min").and_then(Json::as_f64),
+            max: v.get("max").and_then(Json::as_f64),
         })
     }
 }
@@ -198,19 +289,26 @@ impl NodeMetrics {
     }
 }
 
-/// The metrics section of a [`SimReport`], produced by [`MetricsSink`].
+/// The metrics section of a [`SimReport`], produced by [`MetricsSink`]
+/// (and extended with a latency section by
+/// [`LatencySink`](crate::latency::LatencySink)).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Width of each airtime bucket, in nanoseconds.
     pub bucket_ns: u64,
     /// Aggregates per node.
     pub nodes: BTreeMap<NodeId, NodeMetrics>,
+    /// Frame-lifecycle latency spans, when a
+    /// [`LatencySink`](crate::latency::LatencySink) ran.
+    pub latency: Option<Latency>,
 }
 
 impl Metrics {
-    /// Serializes the section as a JSON object.
+    /// Serializes the section as a JSON object (stamped with
+    /// [`SCHEMA_VERSION`]).
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
+            ("schema_version", Json::Uint(SCHEMA_VERSION)),
             ("bucket_ns", Json::Uint(self.bucket_ns)),
             (
                 "nodes",
@@ -227,19 +325,48 @@ impl Metrics {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        if let Some(latency) = &self.latency {
+            fields.push(("latency", latency.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Parses the section from its [`Metrics::to_json`] form.
-    pub fn from_json(v: &Json) -> Option<Metrics> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] when the `schema_version` stamp is
+    /// missing or mismatched, or when a required field is absent or
+    /// malformed.
+    pub fn from_json(v: &Json) -> Result<Metrics, SchemaError> {
+        check_schema_version(v, "metrics section")?;
+        let malformed = || SchemaError::new("metrics section: missing or malformed field");
         let mut nodes = BTreeMap::new();
-        for entry in v.get("nodes")?.as_arr()? {
-            let node = NodeId(entry.get("node")?.as_u64()? as usize);
-            nodes.insert(node, NodeMetrics::from_json(entry)?);
+        for entry in v
+            .get("nodes")
+            .and_then(Json::as_arr)
+            .ok_or_else(malformed)?
+        {
+            let node = NodeId(
+                entry
+                    .get("node")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(malformed)? as usize,
+            );
+            nodes.insert(node, NodeMetrics::from_json(entry).ok_or_else(malformed)?);
         }
-        Some(Metrics {
-            bucket_ns: v.get("bucket_ns")?.as_u64()?,
+        let latency = match v.get("latency") {
+            Some(section) => Some(Latency::from_json(section).ok_or_else(malformed)?),
+            None => None,
+        };
+        Ok(Metrics {
+            bucket_ns: v
+                .get("bucket_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(malformed)?,
             nodes,
+            latency,
         })
     }
 }
@@ -274,6 +401,7 @@ impl MetricsSink {
             metrics: Metrics {
                 bucket_ns,
                 nodes: BTreeMap::new(),
+                latency: None,
             },
             tx_since: BTreeMap::new(),
         }
@@ -334,7 +462,15 @@ impl Observer for MetricsSink {
     }
 
     fn finish(&mut self, report: &mut SimReport) {
-        report.metrics = Some(mem::take(&mut self.metrics));
+        let mut section = mem::take(&mut self.metrics);
+        // Preserve a latency section another sink installed first —
+        // sinks merge into the report, attach order must not matter.
+        if let Some(prev) = report.metrics.take() {
+            if section.latency.is_none() {
+                section.latency = prev.latency;
+            }
+        }
+        report.metrics = Some(section);
     }
 }
 
@@ -413,6 +549,68 @@ mod tests {
         let rx = &sink.metrics.nodes[&NodeId(1)];
         assert_eq!(rx.sinr.count, 1);
         assert_eq!(rx.sinr.counts[22], 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_match_a_sorted_vec_oracle() {
+        // Samples spanning underflow (< 0), the bins, and overflow
+        // (>= 10): the quantile walk must cross all three regions.
+        let samples = [-5.0, -1.2, 0.4, 1.1, 2.6, 3.3, 3.9, 7.2, 12.0, 55.0];
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for s in samples {
+            h.record(s);
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for (i, p) in (1..=samples.len()).map(|i| (i, i as f64 / samples.len() as f64)) {
+            let exact = sorted[i - 1];
+            let q = h.quantile(p).unwrap();
+            // Underflow/overflow ranks report the exact extremes; bin
+            // ranks are off by at most half a bin width.
+            let tol = if exact < h.lo || exact >= h.lo + h.bin_width * h.counts.len() as f64 {
+                // The extreme underflow/overflow ranks are exact, but
+                // interior out-of-range ranks collapse onto min/max.
+                (exact - sorted[0]).abs().max((exact - sorted[9]).abs())
+            } else {
+                h.bin_width / 2.0
+            };
+            assert!((q - exact).abs() <= tol, "p={p}: q={q} exact={exact}");
+        }
+        assert_eq!(h.quantile(0.0), Some(-5.0));
+        assert_eq!(h.quantile(0.1), Some(-5.0));
+        assert_eq!(h.quantile(1.0), Some(55.0));
+        assert_eq!(h.min, Some(-5.0));
+        assert_eq!(h.max, Some(55.0));
+        assert_eq!(Histogram::new(0.0, 1.0, 4).quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_recording() {
+        let mut a = Histogram::new(-10.0, 1.0, 50);
+        let mut b = Histogram::new(-10.0, 1.0, 50);
+        let mut both = Histogram::new(-10.0, 1.0, 50);
+        for s in [-20.0, 3.5, 17.25] {
+            a.record(s);
+            both.record(s);
+        }
+        for s in [99.0, -0.5] {
+            b.record(s);
+            both.record(s);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, both);
+        // Different binnings refuse to merge and leave self untouched.
+        let before = a.clone();
+        assert_eq!(a.merge(&Histogram::new(0.0, 1.0, 50)), Err(BinningMismatch));
+        assert_eq!(
+            a.merge(&Histogram::new(-10.0, 2.0, 50)),
+            Err(BinningMismatch)
+        );
+        assert_eq!(
+            a.merge(&Histogram::new(-10.0, 1.0, 9)),
+            Err(BinningMismatch)
+        );
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -171,6 +171,50 @@ pub enum SimEvent {
         bytes: u32,
     },
 
+    // --- Frame lifecycle (latency spans) ------------------------------
+    /// A specific frame (identified by sequence number) was admitted to
+    /// the sender's transmit queue — the start of its end-to-end span.
+    FrameQueued {
+        /// The queueing sender.
+        node: NodeId,
+        /// Flow destination.
+        dst: NodeId,
+        /// ARQ sequence number of the frame.
+        seq: u64,
+    },
+    /// A transmission attempt for a specific frame started (the DATA
+    /// frame went on the air; `attempt` 0 is the first try).
+    FrameTx {
+        /// The transmitting sender.
+        node: NodeId,
+        /// Flow destination.
+        dst: NodeId,
+        /// ARQ sequence number of the frame.
+        seq: u64,
+        /// Attempt number (0 = first transmission).
+        attempt: u32,
+    },
+    /// A specific frame was acknowledged — the successful end of its
+    /// end-to-end span.
+    FrameAcked {
+        /// The sender whose frame was acknowledged.
+        node: NodeId,
+        /// Flow destination.
+        dst: NodeId,
+        /// ARQ sequence number of the frame.
+        seq: u64,
+    },
+    /// A specific frame was abandoned at the retry limit — the failed
+    /// end of its end-to-end span.
+    FrameDropped {
+        /// The sender that gave up.
+        node: NodeId,
+        /// Flow destination.
+        dst: NodeId,
+        /// ARQ sequence number of the frame.
+        seq: u64,
+    },
+
     // --- CO-MAP -------------------------------------------------------
     /// A discovery header (or in-band announcement) was decoded.
     HeaderHeard {
@@ -297,6 +341,10 @@ impl SimEvent {
             SimEvent::Retry { .. } => "retry",
             SimEvent::Drop { .. } => "drop",
             SimEvent::Delivered { .. } => "delivered",
+            SimEvent::FrameQueued { .. } => "frame_queued",
+            SimEvent::FrameTx { .. } => "frame_tx",
+            SimEvent::FrameAcked { .. } => "frame_acked",
+            SimEvent::FrameDropped { .. } => "frame_dropped",
             SimEvent::HeaderHeard { .. } => "header_heard",
             SimEvent::EtOpportunity { .. } => "et_opportunity",
             SimEvent::EtAbandon { .. } => "et_abandon",
@@ -391,6 +439,24 @@ impl SimEvent {
                 fields.push(("node", node(n)));
                 fields.push(("from", node(from)));
                 fields.push(("bytes", Json::Uint(u64::from(bytes))));
+            }
+            SimEvent::FrameQueued { node: n, dst, seq }
+            | SimEvent::FrameAcked { node: n, dst, seq }
+            | SimEvent::FrameDropped { node: n, dst, seq } => {
+                fields.push(("node", node(n)));
+                fields.push(("dst", node(dst)));
+                fields.push(("seq", Json::Uint(seq)));
+            }
+            SimEvent::FrameTx {
+                node: n,
+                dst,
+                seq,
+                attempt,
+            } => {
+                fields.push(("node", node(n)));
+                fields.push(("dst", node(dst)));
+                fields.push(("seq", Json::Uint(seq)));
+                fields.push(("attempt", Json::Uint(u64::from(attempt))));
             }
             SimEvent::HeaderHeard { node: n, src, dst }
             | SimEvent::EtOpportunity { node: n, src, dst }
@@ -495,6 +561,27 @@ impl SimEvent {
                 from: node("from")?,
                 bytes: uint("bytes")?,
             },
+            "frame_queued" => SimEvent::FrameQueued {
+                node: node("node")?,
+                dst: node("dst")?,
+                seq: value.get("seq")?.as_u64()?,
+            },
+            "frame_tx" => SimEvent::FrameTx {
+                node: node("node")?,
+                dst: node("dst")?,
+                seq: value.get("seq")?.as_u64()?,
+                attempt: uint("attempt")?,
+            },
+            "frame_acked" => SimEvent::FrameAcked {
+                node: node("node")?,
+                dst: node("dst")?,
+                seq: value.get("seq")?.as_u64()?,
+            },
+            "frame_dropped" => SimEvent::FrameDropped {
+                node: node("node")?,
+                dst: node("dst")?,
+                seq: value.get("seq")?.as_u64()?,
+            },
             "header_heard" => SimEvent::HeaderHeard {
                 node: node("node")?,
                 src: node("src")?,
@@ -576,6 +663,24 @@ impl fmt::Display for SimEvent {
             }
             SimEvent::Delivered { node, from, bytes } => {
                 write!(f, "{node} delivered {bytes} B from {from}")
+            }
+            SimEvent::FrameQueued { node, dst, seq } => {
+                write!(f, "{node} queues frame #{seq} toward {dst}")
+            }
+            SimEvent::FrameTx {
+                node,
+                dst,
+                seq,
+                attempt,
+            } => write!(
+                f,
+                "{node} sends frame #{seq} toward {dst} (attempt {attempt})"
+            ),
+            SimEvent::FrameAcked { node, dst, seq } => {
+                write!(f, "{node} frame #{seq} toward {dst} ACKed")
+            }
+            SimEvent::FrameDropped { node, dst, seq } => {
+                write!(f, "{node} frame #{seq} toward {dst} dropped (retry limit)")
             }
             SimEvent::HeaderHeard { node, src, dst } => {
                 write!(f, "{node} hears header announcing {src} → {dst}")
@@ -826,6 +931,27 @@ mod tests {
                 from: NodeId(0),
                 bytes: 1000,
             },
+            SimEvent::FrameQueued {
+                node: NodeId(0),
+                dst: NodeId(1),
+                seq: 42,
+            },
+            SimEvent::FrameTx {
+                node: NodeId(0),
+                dst: NodeId(1),
+                seq: 42,
+                attempt: 2,
+            },
+            SimEvent::FrameAcked {
+                node: NodeId(0),
+                dst: NodeId(1),
+                seq: 42,
+            },
+            SimEvent::FrameDropped {
+                node: NodeId(0),
+                dst: NodeId(1),
+                seq: 43,
+            },
             SimEvent::HeaderHeard {
                 node: NodeId(3),
                 src: NodeId(0),
@@ -874,14 +1000,14 @@ mod tests {
         for (i, e) in samples().into_iter().enumerate() {
             sink.on_event(SimTime::from_nanos(i as u64 * 10), &e);
         }
-        assert_eq!(sink.written(), 21);
+        assert_eq!(sink.written(), 25);
         assert!(sink.error().is_none());
         let text = String::from_utf8(sink.out.clone()).unwrap();
         let parsed: Vec<_> = text
             .lines()
             .map(|l| parse_jsonl_line(l).expect("line parses"))
             .collect();
-        assert_eq!(parsed.len(), 21);
+        assert_eq!(parsed.len(), 25);
         assert_eq!(parsed[0].0, SimTime::ZERO);
         assert_eq!(parsed[5].0, SimTime::from_nanos(50));
         assert_eq!(parsed, {

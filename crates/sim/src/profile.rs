@@ -13,7 +13,7 @@ use std::time::Instant;
 use comap_mac::time::SimDuration;
 
 use crate::event::{Event, EventQueue};
-use crate::json::Json;
+use crate::json::{check_schema_version, Json, SchemaError, SCHEMA_VERSION};
 use crate::medium::MediumCounters;
 
 /// Count and cumulative wall-clock cost of one event type.
@@ -62,6 +62,7 @@ impl RunProfile {
     /// Serializes the profile as a JSON object.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("schema_version", Json::Uint(SCHEMA_VERSION)),
             ("events", Json::Uint(self.events)),
             ("wall_nanos", Json::Uint(self.wall_nanos)),
             ("sim_nanos", Json::Uint(self.sim_nanos)),
@@ -120,23 +121,42 @@ impl RunProfile {
     ///
     /// The derived `events_per_sec` field is ignored on input — it is
     /// recomputed from `events` and `wall_nanos`.
-    pub fn from_json(v: &Json) -> Option<RunProfile> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] when the `schema_version` stamp is
+    /// missing or mismatched, or when a required field is absent or
+    /// malformed.
+    pub fn from_json(v: &Json) -> Result<RunProfile, SchemaError> {
+        check_schema_version(v, "bench profile")?;
+        let malformed = || SchemaError::new("bench profile: missing or malformed field");
+        let field = |obj: &Json, key: &str| -> Result<u64, SchemaError> {
+            obj.get(key).and_then(Json::as_u64).ok_or_else(malformed)
+        };
         let mut by_type = Vec::new();
-        for entry in v.get("by_type")?.as_arr()? {
+        for entry in v
+            .get("by_type")
+            .and_then(Json::as_arr)
+            .ok_or_else(malformed)?
+        {
             by_type.push(EventTypeProfile {
-                name: entry.get("name")?.as_str()?.to_string(),
-                count: entry.get("count")?.as_u64()?,
-                nanos: entry.get("nanos")?.as_u64()?,
+                name: entry
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(malformed)?
+                    .to_string(),
+                count: field(entry, "count")?,
+                nanos: field(entry, "nanos")?,
             });
         }
-        Some(RunProfile {
-            events: v.get("events")?.as_u64()?,
-            wall_nanos: v.get("wall_nanos")?.as_u64()?,
-            sim_nanos: v.get("sim_nanos")?.as_u64()?,
-            queue_peak: v.get("queue_peak")?.as_u64()?,
+        Ok(RunProfile {
+            events: field(v, "events")?,
+            wall_nanos: field(v, "wall_nanos")?,
+            sim_nanos: field(v, "sim_nanos")?,
+            queue_peak: field(v, "queue_peak")?,
             by_type,
-            ledger_checks: v.get("ledger_checks")?.as_u64()?,
-            ledger_check_nanos: v.get("ledger_check_nanos")?.as_u64()?,
+            ledger_checks: field(v, "ledger_checks")?,
+            ledger_check_nanos: field(v, "ledger_check_nanos")?,
             // Absent in profiles from before the culling layer: default
             // to zeros so older artifacts still parse.
             medium_counters: v
@@ -378,7 +398,7 @@ mod tests {
     fn profiles_without_move_counters_parse_with_zeros() {
         // A medium_counters object from before the mobility rework has
         // no move counters: they default to zero, everything else holds.
-        let legacy = r#"{"events":10,"wall_nanos":5,"sim_nanos":9,
+        let legacy = r#"{"schema_version":2,"events":10,"wall_nanos":5,"sim_nanos":9,
             "queue_peak":1,"by_type":[],
             "ledger_checks":0,"ledger_check_nanos":0,
             "medium_counters":{"cache_recomputes":2,"cache_lookups":8,
@@ -388,6 +408,25 @@ mod tests {
         assert_eq!(back.medium_counters.cache_lookups, 8);
         assert_eq!(back.medium_counters.moves_applied, 0);
         assert_eq!(back.medium_counters.moves_coalesced, 0);
+    }
+
+    #[test]
+    fn unstamped_or_mismatched_profiles_are_rejected_with_a_reason() {
+        // An artifact from before the schema stamp existed: rejected,
+        // and the error says what to do about it.
+        let unstamped = r#"{"events":10,"wall_nanos":5,"sim_nanos":9,
+            "queue_peak":1,"by_type":[],
+            "ledger_checks":0,"ledger_check_nanos":0}"#;
+        let err = RunProfile::from_json(&Json::parse(unstamped).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("schema_version"), "{err}");
+        assert!(err.to_string().contains("bench profile"), "{err}");
+
+        let future = r#"{"schema_version":99,"events":10,"wall_nanos":5,"sim_nanos":9,
+            "queue_peak":1,"by_type":[],
+            "ledger_checks":0,"ledger_check_nanos":0}"#;
+        let err = RunProfile::from_json(&Json::parse(future).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("99"), "{err}");
+        assert!(err.to_string().contains("regenerate"), "{err}");
     }
 
     #[test]

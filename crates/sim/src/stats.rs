@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use comap_mac::time::SimDuration;
 
 use crate::frame::NodeId;
-use crate::json::Json;
+use crate::json::{check_schema_version, Json, SchemaError, SCHEMA_VERSION};
 use crate::metrics::Metrics;
 
 /// Counters of one directed link.
@@ -162,6 +162,7 @@ impl SimReport {
             })
             .collect();
         Json::obj(vec![
+            ("schema_version", Json::Uint(SCHEMA_VERSION)),
             ("duration_ns", Json::Uint(self.duration.as_nanos())),
             ("events", Json::Uint(self.events)),
             ("position_reports", Json::Uint(self.position_reports)),
@@ -186,51 +187,63 @@ impl SimReport {
     }
 
     /// Parses a report from its [`SimReport::to_json`] form.
-    pub fn from_json(v: &Json) -> Option<SimReport> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] when the `schema_version` stamp is
+    /// missing or mismatched, or when a required field is absent or
+    /// malformed.
+    pub fn from_json(v: &Json) -> Result<SimReport, SchemaError> {
+        check_schema_version(v, "sim report")?;
+        let malformed = || SchemaError::new("sim report: missing or malformed field");
+        let arr = |key: &str| v.get(key).and_then(Json::as_arr).ok_or_else(malformed);
+        let field = |obj: &Json, key: &str| -> Result<u64, SchemaError> {
+            obj.get(key).and_then(Json::as_u64).ok_or_else(malformed)
+        };
         let mut links = BTreeMap::new();
-        for l in v.get("links")?.as_arr()? {
+        for l in arr("links")? {
             let key = (
-                NodeId(l.get("src")?.as_u64()? as usize),
-                NodeId(l.get("dst")?.as_u64()? as usize),
+                NodeId(field(l, "src")? as usize),
+                NodeId(field(l, "dst")? as usize),
             );
             links.insert(
                 key,
                 LinkStats {
-                    delivered_bytes: l.get("delivered_bytes")?.as_u64()?,
-                    delivered_frames: l.get("delivered_frames")?.as_u64()?,
-                    data_tx: l.get("data_tx")?.as_u64()?,
-                    ack_timeouts: l.get("ack_timeouts")?.as_u64()?,
-                    drops: l.get("drops")?.as_u64()?,
+                    delivered_bytes: field(l, "delivered_bytes")?,
+                    delivered_frames: field(l, "delivered_frames")?,
+                    data_tx: field(l, "data_tx")?,
+                    ack_timeouts: field(l, "ack_timeouts")?,
+                    drops: field(l, "drops")?,
                 },
             );
         }
         let mut nodes = BTreeMap::new();
-        for n in v.get("nodes")?.as_arr()? {
+        for n in arr("nodes")? {
             nodes.insert(
-                NodeId(n.get("node")?.as_u64()? as usize),
+                NodeId(field(n, "node")? as usize),
                 NodeStats {
-                    airtime: SimDuration::from_nanos(n.get("airtime_ns")?.as_u64()?),
-                    concurrent_tx: n.get("concurrent_tx")?.as_u64()?,
-                    et_abandons: n.get("et_abandons")?.as_u64()?,
-                    headers_heard: n.get("headers_heard")?.as_u64()?,
+                    airtime: SimDuration::from_nanos(field(n, "airtime_ns")?),
+                    concurrent_tx: field(n, "concurrent_tx")?,
+                    et_abandons: field(n, "et_abandons")?,
+                    headers_heard: field(n, "headers_heard")?,
                 },
             );
         }
-        let medium = v.get("medium")?;
-        let metrics = match v.get("metrics")? {
+        let medium = v.get("medium").ok_or_else(malformed)?;
+        let metrics = match v.get("metrics").ok_or_else(malformed)? {
             Json::Null => None,
             m => Some(Metrics::from_json(m)?),
         };
-        Some(SimReport {
-            duration: SimDuration::from_nanos(v.get("duration_ns")?.as_u64()?),
+        Ok(SimReport {
+            duration: SimDuration::from_nanos(field(v, "duration_ns")?),
             links,
             nodes,
-            events: v.get("events")?.as_u64()?,
-            position_reports: v.get("position_reports")?.as_u64()?,
+            events: field(v, "events")?,
+            position_reports: field(v, "position_reports")?,
             medium: MediumStats {
-                captures: medium.get("captures")?.as_u64()?,
-                hazard_drops: medium.get("hazard_drops")?.as_u64()?,
-                ledger_checks: medium.get("ledger_checks")?.as_u64()?,
+                captures: field(medium, "captures")?,
+                hazard_drops: field(medium, "hazard_drops")?,
+                ledger_checks: field(medium, "ledger_checks")?,
             },
             metrics,
         })

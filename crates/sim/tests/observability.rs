@@ -17,7 +17,9 @@ use comap_mac::time::SimDuration;
 use comap_radio::Position;
 use comap_sim::config::{MacFeatures, NodeSpec, SimConfig, Traffic};
 use comap_sim::observe::parse_jsonl_line;
-use comap_sim::{Json, JsonlSink, MetricsSink, NoopSink, SimReport, Simulator, TimelineSink};
+use comap_sim::{
+    Json, JsonlSink, LatencySink, MetricsSink, NoopSink, SimReport, Simulator, TimelineSink,
+};
 
 /// A CO-MAP four-node topology that exercises every event source:
 /// captures, hazard drops, discovery headers, ET opportunities,
@@ -62,6 +64,7 @@ fn sinks_do_not_perturb_the_report() {
     sim.attach_sink(Box::new(NoopSink));
     sim.attach_sink(Box::new(JsonlSink::new(buf.clone())));
     sim.attach_sink(Box::new(MetricsSink::new()));
+    sim.attach_sink(Box::new(LatencySink::new()));
     sim.attach_sink(Box::new(timeline));
     let mut observed = sim.run(DURATION);
 
@@ -114,6 +117,118 @@ fn jsonl_stream_matches_the_timeline() {
 
     // The human-readable rendering covers the same events.
     assert_eq!(handle.render().lines().count(), recorded.len());
+}
+
+#[test]
+fn latency_sink_perturbs_neither_report_nor_event_stream() {
+    // Reference: a traced run with no latency sink.
+    let ref_buf = SharedBuf::default();
+    let mut sim = Simulator::new(busy_cfg(7));
+    sim.attach_sink(Box::new(JsonlSink::new(ref_buf.clone())));
+    let bare = sim.run(DURATION);
+
+    // Same run with the latency sink attached on top.
+    let buf = SharedBuf::default();
+    let mut sim = Simulator::new(busy_cfg(7));
+    sim.attach_sink(Box::new(JsonlSink::new(buf.clone())));
+    sim.attach_sink(Box::new(LatencySink::new()));
+    let mut observed = sim.run(DURATION);
+
+    // The latency section is the sink's one intentional addition;
+    // everything else — including the byte-exact JSONL event stream —
+    // must be identical.
+    assert!(
+        observed
+            .metrics
+            .as_ref()
+            .is_some_and(|m| m.latency.is_some()),
+        "LatencySink fills the latency section"
+    );
+    observed.metrics = None;
+    assert_eq!(observed, bare, "the latency sink changed the simulation");
+    assert_eq!(
+        *buf.0.borrow(),
+        *ref_buf.0.borrow(),
+        "the latency sink changed the event stream"
+    );
+}
+
+#[test]
+fn latency_section_is_populated_and_coherent() {
+    let mut sim = Simulator::new(busy_cfg(9));
+    sim.attach_sink(Box::new(LatencySink::new()));
+    let report = sim.run(DURATION);
+    let latency = report
+        .metrics
+        .as_ref()
+        .and_then(|m| m.latency.as_ref())
+        .expect("latency section present");
+
+    // A saturated four-node run delivers plenty of frames: the
+    // aggregate must be non-degenerate, with ordered percentiles.
+    assert!(!latency.nodes.is_empty());
+    let agg = latency.aggregate();
+    assert!(agg.delivered > 0, "frames were delivered");
+    assert!(agg.tx_attempts >= agg.delivered);
+    assert_eq!(agg.e2e.count(), agg.delivered + agg.dropped);
+    let (p50, p95, p99) = (
+        agg.e2e.quantile(0.50).expect("p50"),
+        agg.e2e.quantile(0.95).expect("p95"),
+        agg.e2e.quantile(0.99).expect("p99"),
+    );
+    assert!(p50 > 0, "e2e latency is positive");
+    assert!(p50 <= p95 && p95 <= p99, "percentiles are ordered");
+
+    // Queueing + access + service decompose e2e for delivered frames:
+    // each span histogram carries the same population.
+    for l in latency.nodes.values() {
+        assert_eq!(l.queueing.count(), l.access.count());
+        assert_eq!(l.access.count(), l.service.count());
+    }
+}
+
+#[test]
+fn latency_and_metrics_sections_merge_in_either_order() {
+    let run = |first_latency: bool| {
+        let mut sim = Simulator::new(busy_cfg(13));
+        if first_latency {
+            sim.attach_sink(Box::new(LatencySink::new()));
+            sim.attach_sink(Box::new(MetricsSink::new()));
+        } else {
+            sim.attach_sink(Box::new(MetricsSink::new()));
+            sim.attach_sink(Box::new(LatencySink::new()));
+        }
+        sim.run(DURATION)
+    };
+    let a = run(true);
+    let b = run(false);
+    let m_a = a.metrics.as_ref().expect("section present");
+    let m_b = b.metrics.as_ref().expect("section present");
+    assert!(m_a.latency.is_some(), "latency survives the merge");
+    assert!(!m_a.nodes.is_empty(), "node metrics survive the merge");
+    assert_eq!(m_a, m_b, "attach order changed the merged section");
+}
+
+#[test]
+fn report_with_latency_round_trips_through_json() {
+    let mut sim = Simulator::new(busy_cfg(5));
+    sim.attach_sink(Box::new(MetricsSink::new()));
+    sim.attach_sink(Box::new(LatencySink::new()));
+    let report = sim.run(DURATION);
+    assert!(report.metrics.as_ref().is_some_and(|m| m.latency.is_some()));
+
+    let text = report.to_json().to_string_compact();
+    let back = SimReport::from_json(&Json::parse(&text).unwrap()).expect("valid report JSON");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn unstamped_report_json_is_rejected() {
+    let report = Simulator::new(busy_cfg(5)).run(DURATION);
+    let text = report.to_json().to_string_compact();
+    let legacy = text.replacen("\"schema_version\":2,", "", 1);
+    let err = SimReport::from_json(&Json::parse(&legacy).unwrap()).unwrap_err();
+    assert!(err.to_string().contains("schema_version"), "{err}");
 }
 
 #[test]

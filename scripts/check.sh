@@ -33,4 +33,10 @@ cargo run --release -p comap-experiments --bin fig02 -- --quick \
 cargo run --release -p comap-experiments --bin profile_check -- \
     target/profile_smoke.json
 
+echo "==> perf-regression gate (fig_scale --quick vs pinned envelope)"
+cargo run --release -p comap-experiments --bin fig_scale -- --quick \
+    --profile-json target/profile_fig_scale.json > /dev/null
+cargo run --release -p comap-experiments --bin bench_diff -- \
+    target/profile_fig_scale.json results/BENCH_envelope.json
+
 echo "all checks passed"
