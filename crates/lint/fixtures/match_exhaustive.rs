@@ -1,0 +1,67 @@
+//! Seeded violations for the `match-exhaustive` rule. This file is a
+//! lint *fixture* (never compiled): it pins what the rule must flag —
+//! wildcard arms in matches dispatching on `SimEvent` — and what it
+//! must leave alone. Evidence is the parsed arm patterns, not the
+//! scrutinee spelling.
+
+use crate::observe::SimEvent;
+
+/// Exhaustive observer dispatch: clean.
+pub fn class(e: &SimEvent) -> u32 {
+    match e {
+        SimEvent::TxBegin { .. } => 0,
+        SimEvent::TxEnd { .. } => 1,
+        SimEvent::Retry { .. } => 2,
+    }
+}
+
+/// Wildcard arm absorbing future events: flagged.
+pub fn is_tx(e: &SimEvent) -> bool {
+    match e {
+        SimEvent::TxBegin { .. } => true,
+        _ => false,
+    }
+}
+
+/// The scrutinee is an opaque call — arm evidence alone must trigger
+/// the rule. Wildcard inside an or-pattern: flagged.
+pub fn weight(q: &Queue) -> u32 {
+    match q.head() {
+        SimEvent::Retry { .. } | _ => 1,
+    }
+}
+
+/// Guarded wildcard: flagged.
+pub fn sampled(e: &SimEvent, fast: bool) -> u32 {
+    match e {
+        SimEvent::TxBegin { .. } => 0,
+        _ if fast => 1,
+        _ => 2,
+    }
+}
+
+/// Justified projection: suppressed, not reported.
+pub fn projected(e: &SimEvent) -> u32 {
+    match e {
+        SimEvent::TxBegin { .. } => 1,
+        // simlint: allow(match-exhaustive) — deliberate projection: only TX events feed this counter
+        _ => 0,
+    }
+}
+
+/// Field wildcards and rest patterns are not wildcard arms: clean.
+pub fn src_of(e: &SimEvent) -> u32 {
+    match e {
+        SimEvent::TxBegin { src, dst: _, .. } => *src,
+        SimEvent::TxEnd { src, .. } => *src,
+        SimEvent::Retry { node, .. } => *node,
+    }
+}
+
+/// A match over something else entirely: the rule must not fire.
+pub fn bucket(n: u32) -> u32 {
+    match n {
+        0 => 0,
+        _ => 1,
+    }
+}

@@ -1,0 +1,29 @@
+//! The exhaustive twin of `match_exhaustive.rs`: every `SimEvent`
+//! dispatch names each variant it handles, with no wildcard arm. The
+//! rule must report nothing here.
+
+use crate::observe::SimEvent;
+
+pub fn class(e: &SimEvent) -> u32 {
+    match e {
+        SimEvent::TxBegin { .. } => 0,
+        SimEvent::TxEnd { .. } => 1,
+        SimEvent::Retry { .. } => 2,
+    }
+}
+
+pub fn label(e: &SimEvent) -> &'static str {
+    match e {
+        SimEvent::TxBegin { .. } => "tx_begin",
+        SimEvent::TxEnd { .. } => "tx_end",
+        SimEvent::Retry { .. } => "retry",
+    }
+}
+
+/// Wildcards over non-event scrutinees stay legal.
+pub fn bucket(n: u32) -> &'static str {
+    match n {
+        0 => "empty",
+        _ => "busy",
+    }
+}

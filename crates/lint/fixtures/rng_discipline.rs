@@ -1,0 +1,76 @@
+//! Seeded violations for the `rng-discipline` rule. This file is a lint
+//! *fixture* (never compiled): it pins what the rule must flag —
+//! sequential `StdRng` draws in hot-path code — and what it must leave
+//! alone (constructors, tests, keyed streams).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub struct Engine {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl Engine {
+    // OK: constructors may derive seeds from a sequential stream.
+    pub fn new(mut rng: StdRng) -> Engine {
+        let seed = rng.gen::<u64>();
+        Engine { rng, seed }
+    }
+
+    // OK: with_* constructors are setup, not hot path.
+    pub fn with_jitter(mut rng: StdRng, jitter: u64) -> Engine {
+        let seed = rng.gen::<u64>() ^ jitter;
+        Engine { rng, seed }
+    }
+
+    // VIOLATION: hot-path draw-method call on the struct's stream.
+    pub fn fade(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    // VIOLATION: handing the stream to a callee via &mut.
+    pub fn backoff(&mut self, stage: u32) -> u64 {
+        draw_slots(stage, &mut self.rng)
+    }
+
+    // VIOLATION: a local StdRng binding drawn sequentially.
+    pub fn rekeyed_wrong(&self) -> f64 {
+        let mut local = StdRng::seed_from_u64(self.seed);
+        local.gen::<f64>()
+    }
+
+    // OK: counter-based keyed stream — no mutable RNG state at all.
+    pub fn fade_keyed(&self, link: u32, counter: u64) -> f64 {
+        keyed_normal(self.seed, link, counter)
+    }
+
+    // OK (suppressed): justified migration debt.
+    pub fn survival(&mut self) -> f64 {
+        // simlint: allow(rng-discipline) — migration debt tracked by ROADMAP item 2
+        self.rng.gen::<f64>()
+    }
+}
+
+// OK: generic helpers taking `impl Rng` are not themselves draws; the
+// rule fires at the call site that threads the sequential stream in.
+fn draw_slots<R: Rng + ?Sized>(stage: u32, rng: &mut R) -> u64 {
+    rng.gen_range(0..(1u64 << stage))
+}
+
+fn keyed_normal(seed: u64, link: u32, counter: u64) -> f64 {
+    let x = seed ^ (link as u64) ^ counter;
+    (x as f64) / (u64::MAX as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // OK: tests may draw sequentially.
+    #[test]
+    fn seeded_draws() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(rng.gen::<f64>() >= 0.0);
+    }
+}

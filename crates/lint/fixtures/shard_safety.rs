@@ -1,0 +1,42 @@
+//! Seeded violations for the `shard-safety` rule. This file is a lint
+//! *fixture* (never compiled): it pins what the rule must flag —
+//! non-`Send` shared state in the crates the sharded engine will run in
+//! parallel — and what it must leave alone.
+
+// VIOLATION: Rc is shared ownership without Send.
+use std::rc::Rc;
+// VIOLATION (two on one use): RefCell and Cell are single-thread
+// interior mutability.
+use std::cell::{Cell, RefCell};
+
+// VIOLATION: static mut is shared mutable state.
+static mut EVENT_COUNTER: u64 = 0;
+
+// VIOLATION: thread_local pins state to a worker thread.
+thread_local! {
+    static SCRATCH: Vec<u8> = Vec::new();
+}
+
+pub struct Timeline {
+    // VIOLATION: Rc<RefCell<..>> field (one finding per banned type).
+    shared: Rc<RefCell<Vec<u64>>>,
+    // VIOLATION: raw-pointer field makes the struct non-Send.
+    raw: *const u8,
+    // OK: owned state is always shard-safe.
+    counts: Vec<u64>,
+}
+
+// OK (suppressed): justified single-thread cache.
+// simlint: allow(shard-safety) — scratch buffer never crosses the shard boundary
+pub struct Scratch(Cell<u64>);
+
+#[cfg(test)]
+mod tests {
+    // OK: tests may use anything.
+    use std::rc::Rc;
+
+    fn t() {
+        let shared = Rc::new(std::cell::RefCell::new(0u32));
+        *shared.borrow_mut() += 1;
+    }
+}

@@ -1,0 +1,23 @@
+//! The shard-safe twin of `shard_safety.rs`: the same shapes built on
+//! `Send` primitives. The rule must report nothing here.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Timeline {
+    // OK: Arc<Mutex<..>> is the sanctioned shared-state shape.
+    shared: Arc<Mutex<Vec<u64>>>,
+    // OK: an index instead of a raw pointer.
+    head: usize,
+    counts: Vec<u64>,
+}
+
+pub struct Counter {
+    // OK: atomics are Send + Sync.
+    hits: std::sync::atomic::AtomicU64,
+}
+
+pub fn bump(t: &Timeline) -> usize {
+    // OK: `static` without `mut` is a constant, not shared mutable state.
+    static LIMIT: usize = 1024;
+    t.counts.len().min(LIMIT)
+}

@@ -1,0 +1,12 @@
+//! The within-budget twin of `suppression_budget.rs`: one justified
+//! suppression, under every budget the gate enforces. A
+//! `--max-allows panic-policy=1` budget must pass on this file.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // simlint: allow(panic-policy) — caller guarantees a non-empty slice
+    *xs.first().expect("non-empty")
+}
+
+pub fn safe(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -2,10 +2,12 @@
 //!
 //! A self-contained, offline static-analysis pass enforcing the project
 //! invariants the Rust compiler cannot see. The vendor tree has no
-//! `syn`, so analysis runs on a hand-rolled token scanner
-//! ([`lexer`]) rather than a full parse — precise enough for the rules
-//! below, and dependency-free so the linter builds even when its lint
-//! subjects do not.
+//! `syn`, so analysis runs on a hand-rolled token scanner ([`lexer`])
+//! plus a brace-matched token-tree and item model ([`tree`]) — fn
+//! signatures, struct fields, enum variants, `use` paths and parsed
+//! `match` arms — precise enough for the rules below, and
+//! dependency-free so the linter builds even when its lint subjects do
+//! not.
 //!
 //! ## Rules
 //!
@@ -17,6 +19,10 @@
 //! | `event-completeness` | `comap-sim` | every `SimEvent` variant must have ≥ 1 emission (construction) site in the simulator, so the observability schema never silently rots |
 //! | `float-eq` | all library code | `==`/`!=` against float literals is almost always a latent bug in Bianchi-derived math; exact comparisons must be justified |
 //! | `backend-exhaustive` | `comap-sim`, `comap-experiments` | the culled and exhaustive medium backends are contractually bit-identical (PR 5); every `match` on a `MediumBackend` must name each backend, so adding one forces a reviewed decision at every dispatch site instead of falling into a `_` arm |
+//! | `shard-safety` | `comap-sim`, `comap-mac`, `comap-core`, `comap-radio` | the sharded parallel engine (ROADMAP item 1) requires `Send` state by construction: no `Rc`, `RefCell`, `Cell`, `UnsafeCell`, `static mut`, `thread_local!`, or raw-pointer struct fields |
+//! | `rng-discipline` | `comap-sim`, `comap-mac`, `comap-core` | region shards cannot share a sequential RNG stream without changing results: hot-path `StdRng` draws (outside constructors and tests) must migrate to the counter-based keyed streams of PR 7; pre-existing sites are a shrinking allowlist gated by `--max-allows` |
+//! | `match-exhaustive` | `comap-sim`, `comap-experiments` | observers and dispatchers must decide when the event taxonomy grows: no `_` wildcard arm in a `match` whose arms dispatch on `SimEvent` variants |
+//! | `suppression-budget` | per `--max-allows` flag | suppressions ratchet down, never up: the per-rule count of `simlint: allow` directives plus baseline entries must not exceed the budget |
 //!
 //! ## Suppressions
 //!
@@ -29,18 +35,22 @@
 //! on the same line or within the two lines above. The reason is
 //! mandatory; bare or malformed directives are reported as
 //! `bad-suppression`. Whole findings can also be grandfathered in the
-//! checked-in `simlint.baseline` at the workspace root (empty at HEAD —
-//! the tree is clean).
+//! checked-in `simlint.baseline` at the workspace root (stamped with
+//! `schema_version` and empty of entries at HEAD — the tree is clean).
+//! Unstamped baselines are rejected with a typed error.
 //!
 //! ## CLI
 //!
 //! ```text
 //! simlint --workspace [--json <path>] [--baseline <path>] [--write-baseline]
+//!         [--max-allows <rule>=<n>]...
 //! ```
 //!
-//! Exit code 0 when no unsuppressed, non-baselined finding remains;
-//! 1 otherwise; 2 on usage or I/O errors. See `scripts/check.sh` and CI
-//! for the gating invocation.
+//! Exit code 0 when no unsuppressed, non-baselined finding remains and
+//! every `--max-allows` budget holds; 1 otherwise; 2 on usage or I/O
+//! errors (including an unstamped baseline). The `--json` report is
+//! stamped with `schema_version` and carries per-rule suppression
+//! counts. See `scripts/check.sh` and CI for the gating invocation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +59,7 @@
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod tree;
 pub mod workspace;
 
 pub use rules::{lint_files, Finding, LintOutcome, Rule, SourceFile};

@@ -2,7 +2,8 @@
 //!
 //! See the `comap_lint` crate docs for the rule set. This binary is the
 //! CI gate: it exits non-zero whenever an unsuppressed, non-baselined
-//! finding exists anywhere in the workspace's library code.
+//! finding exists anywhere in the workspace's library code, or when a
+//! `--max-allows` suppression budget is exceeded.
 
 use std::env;
 use std::fs;
@@ -10,7 +11,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use comap_lint::report::{
-    apply_baseline, load_baseline, render_baseline, render_human, render_json,
+    apply_baseline, check_budgets, load_baseline, parse_budget, render_baseline, render_human,
+    render_json, tally_allows, Budget,
 };
 use comap_lint::workspace::{collect_sources, crate_of, discover_workspace, load_source};
 use comap_lint::{lint_files, SourceFile};
@@ -20,19 +22,23 @@ usage: simlint [options] [paths...]
 
 options:
   --workspace            lint every library source in the workspace
-  --json <path>          also write a JSON report to <path>
+  --json <path>          also write a schema-stamped JSON report to <path>
   --baseline <path>      baseline file (default: <root>/simlint.baseline)
   --write-baseline       rewrite the baseline from current findings and exit 0
-  --quiet                print only the summary line
+  --max-allows <r>=<n>   fail when rule <r> has more than <n> suppressions
+                         (allow directives + baseline entries); repeatable
+  --quiet                print only the summary and allows lines
   -h, --help             show this help
 
-exit status: 0 clean, 1 findings, 2 usage or I/O error";
+exit status: 0 clean, 1 findings or budget exceeded, 2 usage or I/O error
+(including an unstamped or wrong-version baseline)";
 
 struct Options {
     workspace: bool,
     json: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: bool,
+    max_allows: Vec<Budget>,
     quiet: bool,
     paths: Vec<PathBuf>,
 }
@@ -43,6 +49,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: None,
         baseline: None,
         write_baseline: false,
+        max_allows: Vec::new(),
         quiet: false,
         paths: Vec::new(),
     };
@@ -59,6 +66,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.baseline = Some(PathBuf::from(path));
             }
             "--write-baseline" => opts.write_baseline = true,
+            "--max-allows" => {
+                let spec = it.next().ok_or("--max-allows requires <rule>=<n>")?;
+                let budget = parse_budget(spec)
+                    .ok_or_else(|| format!("--max-allows: `{spec}` is not <known-rule>=<count>"))?;
+                opts.max_allows.push(budget);
+            }
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Err(String::new()),
             flag if flag.starts_with('-') => {
@@ -119,12 +132,18 @@ fn run(opts: &Options) -> Result<bool, String> {
         .clone()
         .unwrap_or_else(|| root.join("simlint.baseline"));
     let baseline = if baseline_path.is_file() {
-        load_baseline(&baseline_path)
-            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?
+        load_baseline(&baseline_path).map_err(|e| format!("{}: {e}", baseline_path.display()))?
     } else {
         Vec::new()
     };
     let baselined = apply_baseline(&mut outcome, &baseline);
+
+    // Budget findings land after baseline application: a grown
+    // allowlist cannot be grandfathered away.
+    let tally = tally_allows(&outcome, &baseline);
+    outcome
+        .findings
+        .extend(check_budgets(&tally, &opts.max_allows));
 
     if let Some(json_path) = &opts.json {
         if let Some(parent) = json_path.parent() {
@@ -132,14 +151,18 @@ fn run(opts: &Options) -> Result<bool, String> {
                 let _ = fs::create_dir_all(parent);
             }
         }
-        fs::write(json_path, render_json(&outcome, baselined))
-            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+        fs::write(
+            json_path,
+            render_json(&outcome, baselined, &tally, &opts.max_allows),
+        )
+        .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
     }
 
-    let text = render_human(&outcome, baselined);
+    let text = render_human(&outcome, baselined, &tally);
     if opts.quiet {
-        if let Some(summary) = text.lines().last() {
-            println!("{summary}");
+        // The last two lines are the summary and the allows census.
+        for line in text.lines().rev().take(2).collect::<Vec<_>>().iter().rev() {
+            println!("{line}");
         }
     } else {
         print!("{text}");

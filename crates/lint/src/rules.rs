@@ -1,13 +1,17 @@
 //! The simlint rules.
 //!
-//! Each rule is a pure function from lexed source to [`Finding`]s. Rules
-//! are scoped per crate (see [`crate::rules`] items for the scoping
-//! table) and every finding can be suppressed with a
-//! `// simlint: allow(<rule>) — <reason>` comment on the same line or
-//! within the two lines above it. The suppression *requires* a reason —
-//! a bare `allow` is itself reported via [`Rule::BadSuppression`].
+//! Each rule is a pure function from lexed source (plus the
+//! [`crate::tree`] item model) to [`Finding`]s. Rules are scoped per
+//! crate (see the scoping constants below) and every finding can be
+//! suppressed with a `// simlint: allow(<rule>) — <reason>` comment on
+//! the same line or within the two lines above it. The suppression
+//! *requires* a reason — a bare `allow` is itself reported via
+//! [`Rule::BadSuppression`].
 
-use crate::lexer::{lex, Lexed, TokKind, Token};
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, Lexed, TokKind};
+use crate::tree::{FileModel, FnItem, Range};
 
 /// The named rules simlint enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -28,6 +32,21 @@ pub enum Rule {
     /// backend — no wildcard arms, so adding a backend forces a
     /// decision at each dispatch site.
     BackendExhaustive,
+    /// No shared-mutable / non-`Send` state (`Rc`, `RefCell`, `Cell`,
+    /// `static mut`, `thread_local!`, raw-pointer fields) in the crates
+    /// the sharded engine will run in parallel.
+    ShardSafety,
+    /// No sequential `StdRng` draws in hot-path simulation code — use
+    /// the counter-based keyed streams (PR 7) so per-region shards
+    /// never share a mutable RNG stream.
+    RngDiscipline,
+    /// Matches over `SimEvent` must name every variant they dispatch
+    /// on — no wildcard arms, so a new event forces a decision at each
+    /// observer/dispatch site.
+    MatchExhaustive,
+    /// A per-rule suppression count exceeded its `--max-allows`
+    /// budget — the allowlist must ratchet down, never grow.
+    SuppressionBudget,
     /// A `simlint:` directive that is malformed, names an unknown rule,
     /// or omits its justification.
     BadSuppression,
@@ -44,6 +63,10 @@ impl Rule {
             Rule::EventCompleteness => "event-completeness",
             Rule::FloatEq => "float-eq",
             Rule::BackendExhaustive => "backend-exhaustive",
+            Rule::ShardSafety => "shard-safety",
+            Rule::RngDiscipline => "rng-discipline",
+            Rule::MatchExhaustive => "match-exhaustive",
+            Rule::SuppressionBudget => "suppression-budget",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -57,19 +80,27 @@ impl Rule {
             "event-completeness" => Rule::EventCompleteness,
             "float-eq" => Rule::FloatEq,
             "backend-exhaustive" => Rule::BackendExhaustive,
+            "shard-safety" => Rule::ShardSafety,
+            "rng-discipline" => Rule::RngDiscipline,
+            "match-exhaustive" => Rule::MatchExhaustive,
+            "suppression-budget" => Rule::SuppressionBudget,
             "bad-suppression" => Rule::BadSuppression,
             _ => return None,
         })
     }
 
-    /// Every suppressible rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 11] = [
         Rule::UnitHygiene,
         Rule::Determinism,
         Rule::PanicPolicy,
         Rule::EventCompleteness,
         Rule::FloatEq,
         Rule::BackendExhaustive,
+        Rule::ShardSafety,
+        Rule::RngDiscipline,
+        Rule::MatchExhaustive,
+        Rule::SuppressionBudget,
         Rule::BadSuppression,
     ];
 }
@@ -126,18 +157,62 @@ pub struct LintOutcome {
     pub suppressed: usize,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Per-rule counts of well-formed, justified `simlint: allow`
+    /// directives present in the scanned sources (whether or not each
+    /// silenced a finding this run) — the in-source half of the
+    /// suppression budget.
+    pub allow_directives: BTreeMap<String, usize>,
 }
 
 /// Crates whose public functions the unit-hygiene rule covers.
 const UNIT_HYGIENE_CRATES: [&str; 2] = ["radio", "sim"];
 /// Crates that must stay bit-deterministic.
 const DETERMINISM_CRATES: [&str; 3] = ["sim", "mac", "core"];
+/// Crates the sharded engine will run in parallel: all state reachable
+/// from a region shard must be `Send` by construction.
+const SHARD_SAFETY_CRATES: [&str; 4] = ["sim", "mac", "core", "radio"];
+/// Crates whose hot paths must not consume a sequential RNG stream.
+const RNG_DISCIPLINE_CRATES: [&str; 3] = ["sim", "mac", "core"];
 /// The crate holding the `SimEvent` enum and its emission sites.
 const EVENT_CRATE: &str = "sim";
-/// Crates whose `MediumBackend` dispatches must stay exhaustive.
+/// Crates whose `MediumBackend`/`SimEvent` dispatches must stay
+/// exhaustive.
 const BACKEND_CRATES: [&str; 2] = ["sim", "experiments"];
 /// The enum whose variants event-completeness audits.
 const EVENT_ENUM: &str = "SimEvent";
+/// The backend enum whose dispatches backend-exhaustive audits.
+const BACKEND_ENUM: &str = "MediumBackend";
+/// The sequential RNG type rng-discipline tracks.
+const SEQ_RNG: &str = "StdRng";
+/// Method names that consume a sequential RNG stream.
+const DRAW_METHODS: [&str; 12] = [
+    "gen",
+    "gen_range",
+    "gen_bool",
+    "gen_ratio",
+    "sample",
+    "sample_iter",
+    "fill",
+    "fill_bytes",
+    "next_u32",
+    "next_u64",
+    "shuffle",
+    "choose",
+];
+/// Identifiers banned outright by shard-safety (non-`Send` shared
+/// ownership and single-thread interior mutability).
+const SHARD_BANNED: [(&str, &str); 4] = [
+    ("Rc", "`Rc` is shared ownership without `Send`"),
+    (
+        "RefCell",
+        "`RefCell` is run-time interior mutability without `Sync`",
+    ),
+    ("Cell", "`Cell` is interior mutability without `Sync`"),
+    (
+        "UnsafeCell",
+        "`UnsafeCell` is unsynchronized interior mutability",
+    ),
+];
 
 /// Lints a set of library source files and applies suppressions.
 pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
@@ -156,23 +231,36 @@ pub fn lint_files(files: &[SourceFile]) -> LintOutcome {
 
     for (idx, lexed) in &lexed_files {
         let file = &files[*idx];
+        let model = FileModel::parse(lexed);
         check_panic_policy(file, lexed, &mut raw);
         if DETERMINISM_CRATES.contains(&file.crate_name.as_str()) {
             check_determinism(file, lexed, &mut raw);
         }
         check_float_eq(file, lexed, &mut raw);
         if UNIT_HYGIENE_CRATES.contains(&file.crate_name.as_str()) {
-            check_unit_hygiene(file, lexed, &mut raw);
+            check_unit_hygiene(file, lexed, &model, &mut raw);
         }
         if BACKEND_CRATES.contains(&file.crate_name.as_str()) {
-            check_backend_exhaustive(file, lexed, &mut raw);
+            check_backend_exhaustive(file, lexed, &model, &mut raw);
+            check_match_exhaustive(file, lexed, &model, &mut raw);
+        }
+        if SHARD_SAFETY_CRATES.contains(&file.crate_name.as_str()) {
+            check_shard_safety(file, lexed, &model, &mut raw);
+        }
+        if RNG_DISCIPLINE_CRATES.contains(&file.crate_name.as_str()) {
+            check_rng_discipline(file, lexed, &model, &mut raw);
         }
         check_directives(file, lexed, &mut raw);
-        if file.crate_name == EVENT_CRATE {
-            match find_event_decl(file, lexed) {
-                Some(d) => decl = Some(d),
-                None => collect_event_constructions(lexed, &mut constructed),
+        for d in &lexed.directives {
+            if d.well_formed && d.has_reason && Rule::from_name(&d.rule).is_some() {
+                *outcome.allow_directives.entry(d.rule.clone()).or_insert(0) += 1;
             }
+        }
+        if file.crate_name == EVENT_CRATE {
+            if let Some(d) = find_event_decl(file, lexed, &model) {
+                decl = Some(d);
+            }
+            collect_event_constructions(lexed, &mut constructed);
         }
     }
 
@@ -355,189 +443,355 @@ fn unit_suggestion(name: &str) -> Option<&'static str> {
 }
 
 /// unit-hygiene: `pub fn` parameters whose names imply a physical unit
-/// must not be raw `f64`.
-fn check_unit_hygiene(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
-    let toks = &lexed.tokens;
-    let mut i = 0usize;
-    while i + 2 < toks.len() {
-        if lexed.in_test[i] || !(toks[i].is_ident("pub") && toks[i + 1].is_ident("fn")) {
-            i += 1;
+/// must not be raw `f64`. Runs on the item model's parsed signatures.
+fn check_unit_hygiene(file: &SourceFile, lexed: &Lexed, model: &FileModel, out: &mut Vec<Finding>) {
+    for f in model.functions() {
+        if !f.is_pub || lexed.in_test[f.name_idx] {
             continue;
         }
-        let mut j = i + 3; // past `pub fn name`
-                           // Skip generic parameters.
-        if toks.get(j).is_some_and(|t| t.is_punct("<")) {
-            let mut depth = 0i32;
-            while j < toks.len() {
-                match toks[j].text.as_str() {
-                    "<" => depth += 1,
-                    ">" => depth -= 1,
-                    ">>" => depth -= 2,
-                    _ => {}
-                }
-                j += 1;
-                if depth <= 0 {
-                    break;
-                }
+        for p in &f.params {
+            let ty = &model.tokens[p.ty.0..p.ty.1.min(model.tokens.len())];
+            let is_raw_f64 = ty.len() == 1 && ty[0].is_ident("f64");
+            if !is_raw_f64 {
+                continue;
+            }
+            if let Some(suggestion) = unit_suggestion(&p.name) {
+                push(
+                    file,
+                    Rule::UnitHygiene,
+                    p.line,
+                    format!(
+                        "public parameter `{}: f64` carries a physical unit — take `{}` instead",
+                        p.name, suggestion
+                    ),
+                    out,
+                );
             }
         }
-        if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
-            i += 1;
-            continue;
-        }
-        // Collect the parameter list tokens up to the matching `)`.
-        let open = j;
-        let mut depth = 0i32;
-        let mut close = open;
-        while close < toks.len() {
-            if toks[close].is_punct("(") {
-                depth += 1;
-            } else if toks[close].is_punct(")") {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            }
-            close += 1;
-        }
-        check_params(file, &toks[open + 1..close], out);
-        i = close + 1;
     }
 }
 
-/// Checks one parameter list (tokens between the signature parens).
-fn check_params(file: &SourceFile, params: &[Token], out: &mut Vec<Finding>) {
-    let mut depth = 0i32;
-    let mut start = 0usize;
-    let mut segments: Vec<&[Token]> = Vec::new();
-    for (k, t) in params.iter().enumerate() {
-        match t.text.as_str() {
-            "(" | "[" => depth += 1,
-            ")" | "]" => depth -= 1,
-            "," if depth == 0 => {
-                segments.push(&params[start..k]);
-                start = k + 1;
-            }
-            _ => {}
-        }
-    }
-    if start < params.len() {
-        segments.push(&params[start..]);
-    }
-    for seg in segments {
-        // The first top-level `:` separates pattern from type (`::` is a
-        // single distinct token, so paths cannot confuse this).
-        let Some(colon) = seg.iter().position(|t| t.is_punct(":")) else {
+/// backend-exhaustive: a `match` dispatching on the medium backend —
+/// its scrutinee names a `*backend*` binding, or any arm pattern names
+/// a `MediumBackend::` variant — must not use a wildcard arm. The two
+/// backends are contractually bit-identical, so every dispatch site is
+/// a place where a future backend needs an explicit decision.
+fn check_backend_exhaustive(
+    file: &SourceFile,
+    lexed: &Lexed,
+    model: &FileModel,
+    out: &mut Vec<Finding>,
+) {
+    for m in &model.matches {
+        if lexed.in_test[m.kw_idx] {
             continue;
-        };
-        let name = seg[..colon]
+        }
+        let scrutinee_named = range_has_backend_ident(model, m.scrutinee);
+        let arm_evidence = m
+            .arms
             .iter()
-            .rev()
-            .find(|t| t.kind == TokKind::Ident && t.text != "mut");
-        let Some(name) = name else { continue };
-        if name.text == "self" {
+            .any(|a| model.range_mentions_path(a.pat, BACKEND_ENUM));
+        if !scrutinee_named && !arm_evidence {
             continue;
         }
-        let ty = &seg[colon + 1..];
-        let is_raw_f64 = ty.len() == 1 && ty[0].is_ident("f64");
-        if !is_raw_f64 {
+        for arm in &m.arms {
+            if model.arm_is_wildcard(arm) {
+                push(
+                    file,
+                    Rule::BackendExhaustive,
+                    arm.line,
+                    "wildcard arm in a `MediumBackend` dispatch — name every backend \
+                     so adding one forces a decision here, or justify with \
+                     `simlint: allow(backend-exhaustive)`"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+fn range_has_backend_ident(model: &FileModel, range: Range) -> bool {
+    let end = range.1.min(model.tokens.len());
+    model.tokens[range.0..end]
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("backend"))
+}
+
+/// match-exhaustive: a `match` whose arms dispatch on `SimEvent`
+/// variants must not use a wildcard arm — observers and dispatchers
+/// must make a conscious decision when the event taxonomy grows. Type
+/// evidence comes from the parsed arm patterns (`SimEvent::Variant`),
+/// not from scrutinee-name heuristics.
+fn check_match_exhaustive(
+    file: &SourceFile,
+    lexed: &Lexed,
+    model: &FileModel,
+    out: &mut Vec<Finding>,
+) {
+    for m in &model.matches {
+        if lexed.in_test[m.kw_idx] {
             continue;
         }
-        if let Some(suggestion) = unit_suggestion(&name.text) {
+        let arm_evidence = m
+            .arms
+            .iter()
+            .any(|a| model.range_mentions_path(a.pat, EVENT_ENUM));
+        if !arm_evidence {
+            continue;
+        }
+        for arm in &m.arms {
+            if model.arm_is_wildcard(arm) {
+                push(
+                    file,
+                    Rule::MatchExhaustive,
+                    arm.line,
+                    format!(
+                        "wildcard arm in a `match` over `{EVENT_ENUM}` — name every variant \
+                         this site dispatches on (a new event must force a decision here), \
+                         or justify the projection with `simlint: allow(match-exhaustive)`"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// shard-safety: per-region parallel shards require `Send` state by
+/// construction, so the crates the engine will shard ban non-`Send`
+/// shared ownership and single-thread interior mutability outright:
+/// `Rc`, `RefCell`, `Cell`, `UnsafeCell`, `static mut`,
+/// `thread_local!`, and raw-pointer struct fields.
+fn check_shard_safety(file: &SourceFile, lexed: &Lexed, model: &FileModel, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    // One finding per (line, name), so `Rc::new(RefCell::new(..))`
+    // reports each banned type once even when repeated on the line.
+    let mut seen: Vec<(u32, &str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if lexed.in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("static") && toks.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
             push(
                 file,
-                Rule::UnitHygiene,
-                name.line,
-                format!(
-                    "public parameter `{}: f64` carries a physical unit — take `{}` instead",
-                    name.text, suggestion
-                ),
+                Rule::ShardSafety,
+                t.line,
+                "`static mut` is shared mutable state — a per-region shard cannot own it; \
+                 pass state through the shard explicitly"
+                    .to_string(),
                 out,
             );
+            continue;
+        }
+        if t.is_ident("thread_local") && toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+            push(
+                file,
+                Rule::ShardSafety,
+                t.line,
+                "`thread_local!` pins state to a worker thread — shards migrate between \
+                 threads, so thread-local state breaks determinism"
+                    .to_string(),
+                out,
+            );
+            continue;
+        }
+        for (name, why) in SHARD_BANNED {
+            if t.is_ident(name) && !seen.contains(&(t.line, name)) {
+                seen.push((t.line, name));
+                push(
+                    file,
+                    Rule::ShardSafety,
+                    t.line,
+                    format!(
+                        "{why} — shard state must be `Send` by construction; use owned \
+                         state, `Arc<Mutex<..>>`, or restructure (or justify with \
+                         `simlint: allow(shard-safety)`)"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+    // Raw-pointer fields: a struct holding `*const`/`*mut` cannot be
+    // `Send` without an unsafe impl the rule refuses to assume.
+    for s in model.structs() {
+        for field in &s.fields {
+            let Some(first) = model.tokens.get(field.ty.0) else {
+                continue;
+            };
+            if first.is_punct("*") && !lexed.in_test[field.ty.0] {
+                push(
+                    file,
+                    Rule::ShardSafety,
+                    field.line,
+                    format!(
+                        "raw-pointer field in `{}` — `*const`/`*mut` fields make the struct \
+                         non-`Send`; hold an index or an owned handle instead",
+                        s.name
+                    ),
+                    out,
+                );
+            }
         }
     }
 }
 
-/// backend-exhaustive: a `match` whose scrutinee mentions the medium
-/// backend (`MediumBackend` or any `*backend*` binding) must not use a
-/// wildcard arm. The two backends are contractually bit-identical, so
-/// every dispatch site is a place where a future backend needs an
-/// explicit decision — a `_` arm would silently absorb it.
-fn check_backend_exhaustive(file: &SourceFile, lexed: &Lexed, out: &mut Vec<Finding>) {
-    let toks = &lexed.tokens;
-    let mut i = 0usize;
-    while i < toks.len() {
-        if lexed.in_test[i] || !toks[i].is_ident("match") {
+/// Whether a function is a constructor by naming convention — one-time
+/// setup draws (seed derivation) are not hot-path sequential draws, and
+/// the sharded engine re-derives per-shard seeds at construction.
+fn is_constructor(name: &str) -> bool {
+    name == "new" || name.starts_with("new_") || name.starts_with("with_")
+}
+
+/// rng-discipline: sequential `StdRng` draws create a data dependence
+/// across every consumer of the stream, which (a) serializes the hot
+/// path and (b) cannot be split across region shards without changing
+/// results. Outside constructors and tests, hot-path code must use the
+/// counter-based keyed streams introduced in PR 7 (`link_slow_normal`'s
+/// `(seed, key, counter)` pattern). Pre-existing draws are tracked as a
+/// shrinking migration allowlist (see `--max-allows`).
+fn check_rng_discipline(
+    file: &SourceFile,
+    lexed: &Lexed,
+    model: &FileModel,
+    out: &mut Vec<Finding>,
+) {
+    // Struct fields of the sequential RNG type, e.g. `rng: StdRng`.
+    let mut rng_fields: Vec<String> = Vec::new();
+    for s in model.structs() {
+        for field in &s.fields {
+            if let Some(name) = &field.name {
+                if model.range_mentions_seq_rng(field.ty) && !rng_fields.contains(name) {
+                    rng_fields.push(name.clone());
+                }
+            }
+        }
+    }
+    for f in model.functions() {
+        if lexed.in_test[f.name_idx] || is_constructor(&f.name) {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let locals = rng_locals(model, f, body);
+        scan_body_for_draws(file, lexed, model, body, &rng_fields, &locals, out);
+    }
+}
+
+impl FileModel<'_> {
+    /// Whether `range` mentions the tracked sequential RNG type.
+    fn range_mentions_seq_rng(&self, range: Range) -> bool {
+        let end = range.1.min(self.tokens.len());
+        self.tokens[range.0..end]
+            .iter()
+            .any(|t| t.is_ident(SEQ_RNG))
+    }
+}
+
+/// Names of `StdRng`-typed bindings in scope inside `f`'s body:
+/// parameters with an `StdRng` type and `let` bindings whose type or
+/// initializer mentions `StdRng`.
+fn rng_locals(model: &FileModel, f: &FnItem, body: (usize, usize)) -> Vec<String> {
+    let mut locals: Vec<String> = Vec::new();
+    for p in &f.params {
+        if model.range_mentions_seq_rng(p.ty) && !locals.contains(&p.name) {
+            locals.push(p.name.clone());
+        }
+    }
+    for b in model.let_bindings(body) {
+        if (model.range_mentions_seq_rng(b.ty) || model.range_mentions_seq_rng(b.init))
+            && !locals.contains(&b.name)
+        {
+            locals.push(b.name);
+        }
+    }
+    locals
+}
+
+fn scan_body_for_draws(
+    file: &SourceFile,
+    lexed: &Lexed,
+    model: &FileModel,
+    body: (usize, usize),
+    rng_fields: &[String],
+    locals: &[String],
+    out: &mut Vec<Finding>,
+) {
+    let toks = model.tokens;
+    let end = body.1.min(toks.len());
+    let mut i = body.0 + 1;
+    while i < end {
+        if lexed.in_test[i] {
             i += 1;
             continue;
         }
-        // Scan the scrutinee: everything up to the `{` opening the
-        // match body (braces inside parens/brackets don't end it).
-        let mut j = i + 1;
-        let mut mentions_backend = false;
-        let mut depth = 0i32;
-        while j < toks.len() {
-            let t = &toks[j];
-            if depth == 0 && t.is_punct("{") {
-                break;
+        // `self.<rng-field>` …
+        if toks[i].is_ident("self")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| rng_fields.iter().any(|f| t.is_ident(f)))
+        {
+            let field_idx = i + 2;
+            if let Some(finding_line) = rng_use_after(model, i, field_idx) {
+                push_rng_finding(file, finding_line, &toks[field_idx].text, out);
             }
-            match t.text.as_str() {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                _ => {}
-            }
-            if t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("backend") {
-                mentions_backend = true;
-            }
-            j += 1;
-        }
-        if j >= toks.len() {
-            break;
-        }
-        if !mentions_backend {
-            i = j + 1;
+            i = field_idx + 1;
             continue;
         }
-        // Walk the body: a `_` at arm level (depth 1) starting or
-        // continuing a pattern (`_ =>`, `_ |`, `_ if guard =>`).
-        let open = j;
-        let mut depth = 0i32;
-        let mut k = open;
-        while k < toks.len() {
-            let t = &toks[k];
-            if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
-                depth += 1;
-            } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if depth == 1 && t.is_ident("_") {
-                let next = toks.get(k + 1);
-                let is_arm = matches!(
-                    next,
-                    Some(n) if n.is_punct("=>") || n.is_punct("|") || n.is_ident("if")
-                );
-                if is_arm {
-                    push(
-                        file,
-                        Rule::BackendExhaustive,
-                        t.line,
-                        "wildcard arm in a `MediumBackend` dispatch — name every backend \
-                         so adding one forces a decision here, or justify with \
-                         `simlint: allow(backend-exhaustive)`"
-                            .to_string(),
-                        out,
-                    );
-                }
+        // Bare local rng binding (not a path segment or field access).
+        if toks[i].kind == TokKind::Ident
+            && locals.iter().any(|l| toks[i].is_ident(l))
+            && !(i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::")))
+        {
+            if let Some(finding_line) = rng_use_after(model, i, i) {
+                push_rng_finding(file, finding_line, &toks[i].text, out);
             }
-            k += 1;
         }
-        // Resume just inside the body so nested backend matches are
-        // still scanned (their arms sit at depth ≥ 2 here, so the pass
-        // above never double-reports them).
-        i = open + 1;
+        i += 1;
     }
+}
+
+/// Decides whether the rng expression whose *first* token sits at
+/// `start` (for `&mut` lookbehind) and whose last token sits at `last`
+/// is a sequential use: a draw-method call, or a `&mut` borrow handing
+/// the stream to a callee. Returns the line to report.
+fn rng_use_after(model: &FileModel, start: usize, last: usize) -> Option<u32> {
+    let toks = model.tokens;
+    // `&mut <rng>` — the stream escapes into a callee (or a reborrow).
+    if start >= 2 && toks[start - 1].is_ident("mut") && toks[start - 2].is_punct("&") {
+        return Some(toks[last].line);
+    }
+    // `<rng>.method(..)` / `<rng>.method::<T>(..)` with a draw method.
+    if toks.get(last + 1).is_some_and(|t| t.is_punct("."))
+        && toks
+            .get(last + 2)
+            .is_some_and(|t| DRAW_METHODS.iter().any(|m| t.is_ident(m)))
+    {
+        let m = last + 2;
+        let call = toks.get(m + 1).is_some_and(|t| t.is_punct("("))
+            || (toks.get(m + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(m + 2).is_some_and(|t| t.is_punct("<")));
+        if call {
+            return Some(toks[m].line);
+        }
+    }
+    None
+}
+
+fn push_rng_finding(file: &SourceFile, line: u32, binding: &str, out: &mut Vec<Finding>) {
+    push(
+        file,
+        Rule::RngDiscipline,
+        line,
+        format!(
+            "sequential `{SEQ_RNG}` draw through `{binding}` in hot-path simulation code — \
+             use a counter-based keyed stream (cf. `link_slow_normal`, DESIGN.md §8) so \
+             shards never share a mutable RNG; pre-existing sites carry \
+             `simlint: allow(rng-discipline)` as tracked migration debt"
+        ),
+        out,
+    );
 }
 
 /// bad-suppression: every `simlint:` comment must be a well-formed
@@ -576,68 +830,23 @@ struct EventDecl {
     variants: Vec<(String, u32, String)>,
 }
 
-/// Finds and parses `enum SimEvent { ... }` in `file`, if declared here.
-fn find_event_decl(file: &SourceFile, lexed: &Lexed) -> Option<EventDecl> {
-    let toks = &lexed.tokens;
-    let mut at = None;
-    for i in 0..toks.len() {
-        if toks[i].is_ident("enum")
-            && toks.get(i + 1).is_some_and(|t| t.is_ident(EVENT_ENUM))
-            && !lexed.in_test[i]
-        {
-            at = Some(i);
-            break;
-        }
+/// Finds `enum SimEvent { ... }` in `file` via the item model.
+fn find_event_decl(file: &SourceFile, lexed: &Lexed, model: &FileModel) -> Option<EventDecl> {
+    let decl = model
+        .enums()
+        .into_iter()
+        .find(|e| e.name == EVENT_ENUM && !lexed.in_test[e.kw_idx])?;
+    if decl.variants.is_empty() {
+        return None;
     }
-    let start = at?;
-    let mut j = start + 2;
-    while j < toks.len() && !toks[j].is_punct("{") {
-        j += 1;
-    }
-    let mut variants = Vec::new();
-    let mut depth = 0i32;
-    while j < toks.len() {
-        let t = &toks[j];
-        if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
-            depth += 1;
-            // A variant name is the ident at depth 1 opening its own
-            // field block or listed bare before `,`.
-            j += 1;
-            continue;
-        }
-        if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
-            depth -= 1;
-            if depth == 0 {
-                break;
-            }
-            j += 1;
-            continue;
-        }
-        if depth == 1 && t.kind == TokKind::Ident && starts_uppercase(&t.text) {
-            // Skip attribute contents (`#[...]` was consumed via depth).
-            let next = toks.get(j + 1);
-            let is_variant = matches!(
-                next,
-                Some(n) if n.is_punct("{") || n.is_punct("(") || n.is_punct(",") || n.is_punct("}")
-            );
-            if is_variant {
-                variants.push((t.text.clone(), t.line, snippet_at(file, t.line)));
-            }
-        }
-        j += 1;
-    }
-    if variants.is_empty() {
-        None
-    } else {
-        Some(EventDecl {
-            file: file.rel_path.clone(),
-            variants,
-        })
-    }
-}
-
-fn starts_uppercase(s: &str) -> bool {
-    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    Some(EventDecl {
+        file: file.rel_path.clone(),
+        variants: decl
+            .variants
+            .iter()
+            .map(|(name, line)| (name.clone(), *line, snippet_at(file, *line)))
+            .collect(),
+    })
 }
 
 /// Collects `SimEvent::Variant` *construction* sites (match arms and
@@ -711,6 +920,7 @@ mod tests {
         let out = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
         assert_eq!(rules_of(&out), vec![(Rule::PanicPolicy, 1)]);
         assert_eq!(out.suppressed, 1);
+        assert_eq!(out.allow_directives.get("panic-policy"), Some(&1));
     }
 
     #[test]
@@ -740,6 +950,13 @@ mod tests {
     }
 
     #[test]
+    fn unit_hygiene_sees_params_behind_generics() {
+        let src = "pub fn g<F: Fn(u32) -> u64>(cb: F, dist: f64) {}\n";
+        let out = lint_files(&[file("radio", "crates/radio/src/x.rs", src)]);
+        assert_eq!(rules_of(&out), vec![(Rule::UnitHygiene, 1)]);
+    }
+
+    #[test]
     fn event_completeness_counts_constructions_not_patterns() {
         let decl = "pub enum SimEvent {\n    Used { n: u32 },\n    Orphan { n: u32 },\n    BareOrphan,\n}\n";
         let emit = "fn e() -> SimEvent { SimEvent::Used { n: 0 } }\n\
@@ -751,6 +968,7 @@ mod tests {
         let names: Vec<&str> = out
             .findings
             .iter()
+            .filter(|f| f.rule == Rule::EventCompleteness)
             .map(|f| f.message.split('`').nth(1).unwrap_or(""))
             .collect();
         assert_eq!(names, vec!["SimEvent::Orphan", "SimEvent::BareOrphan"]);
@@ -772,6 +990,84 @@ mod tests {
     }
 
     #[test]
+    fn backend_exhaustive_uses_arm_evidence_without_scrutinee_name() {
+        let src = "fn f(m: &M) -> u32 {\n\
+                   \x20   match m.pick() {\n\
+                   \x20       MediumBackend::Culled => 1,\n\
+                   \x20       _ => 0,\n\
+                   \x20   }\n\
+                   }\n";
+        let out = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(rules_of(&out), vec![(Rule::BackendExhaustive, 4)]);
+    }
+
+    #[test]
+    fn match_exhaustive_flags_event_projections() {
+        let src = "fn f(e: &SimEvent) -> u32 {\n\
+                   \x20   match *e {\n\
+                   \x20       SimEvent::TxBegin { .. } => 1,\n\
+                   \x20       _ => 0,\n\
+                   \x20   }\n\
+                   }\n";
+        let flagged = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(rules_of(&flagged), vec![(Rule::MatchExhaustive, 4)]);
+        // Out-of-scope crates are not audited.
+        let unflagged = lint_files(&[file("core", "crates/core/src/x.rs", src)]);
+        assert!(unflagged.findings.is_empty());
+    }
+
+    #[test]
+    fn shard_safety_flags_banned_state() {
+        let src = "use std::rc::Rc;\n\
+                   static mut COUNTER: u32 = 0;\n\
+                   pub struct S { raw: *const u8 }\n";
+        let out = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(
+            rules_of(&out),
+            vec![
+                (Rule::ShardSafety, 1),
+                (Rule::ShardSafety, 2),
+                (Rule::ShardSafety, 3)
+            ]
+        );
+        // The experiments crate may use whatever it likes.
+        let unflagged = lint_files(&[file("experiments", "crates/experiments/src/x.rs", src)]);
+        assert!(unflagged.findings.is_empty());
+    }
+
+    #[test]
+    fn rng_discipline_exempts_constructors_and_tests() {
+        let src = "use rand::rngs::StdRng;\n\
+                   pub struct E { rng: StdRng }\n\
+                   impl E {\n\
+                   \x20   pub fn new(mut rng: StdRng) -> Self { let s = rng.gen::<u64>(); E { rng } }\n\
+                   \x20   pub fn draw(&mut self) -> f64 { self.rng.gen::<f64>() }\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t() { let mut r = StdRng::seed_from_u64(1); r.gen::<u64>(); } }\n";
+        let out = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(rules_of(&out), vec![(Rule::RngDiscipline, 5)]);
+    }
+
+    #[test]
+    fn rng_discipline_tracks_mut_borrows_and_locals() {
+        let src = "use rand::rngs::StdRng;\n\
+                   pub struct E { rng: StdRng, seed: u64 }\n\
+                   impl E {\n\
+                   \x20   pub fn fade(&mut self) -> f64 { helper(&mut self.rng) }\n\
+                   \x20   pub fn local(&self) -> f64 {\n\
+                   \x20       let mut r = StdRng::seed_from_u64(self.seed);\n\
+                   \x20       r.gen::<f64>()\n\
+                   \x20   }\n\
+                   }\n";
+        let out = lint_files(&[file("sim", "crates/sim/src/x.rs", src)]);
+        assert_eq!(
+            rules_of(&out),
+            vec![(Rule::RngDiscipline, 4), (Rule::RngDiscipline, 7)]
+        );
+    }
+
+    #[test]
     fn bad_suppressions_are_reported() {
         let src = "// simlint: allow(no-such-rule) — reason text\n\
                    // simlint: allow(float-eq)\n\
@@ -785,6 +1081,8 @@ mod tests {
                 (Rule::BadSuppression, 3)
             ]
         );
+        // None of the bad directives count toward the allow budget.
+        assert!(out.allow_directives.is_empty());
     }
 
     #[test]

@@ -74,7 +74,12 @@ fn walk_src(
     for path in entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
-            if name == "bin" {
+            // `bin/` holds executables; `fixtures/` holds
+            // intentionally-violating lint-fixture code that must never
+            // reach workspace mode (defense in depth — the walker only
+            // descends `src/` directories, but a fixture tree nested
+            // under one would otherwise be scanned).
+            if name == "bin" || name == "fixtures" {
                 continue;
             }
             walk_src(root, &path, crate_name, out)?;

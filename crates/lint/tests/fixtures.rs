@@ -155,6 +155,13 @@ fn event_completeness_fixture_is_fully_detected() {
         messages[2].contains("SimEvent::FrameOrphaned"),
         "{messages:?}"
     );
+    // The `frame_kind` projection in sim.rs carries a wildcard arm over
+    // `SimEvent` patterns — the match-exhaustive rule must see it from
+    // arm evidence alone.
+    assert_eq!(
+        lines_for(&files, Rule::MatchExhaustive),
+        vec![line_of(sim, "_ => None,")]
+    );
 }
 
 #[test]
@@ -194,6 +201,204 @@ fn backend_exhaustive_fixture_is_fully_detected() {
         "crates/radio/src/backend_exhaustive.rs",
         text
     )])
+    .is_empty());
+}
+
+#[test]
+fn shard_safety_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/shard_safety.rs");
+    let files = [fixture("sim", "crates/sim/src/shard_safety.rs", text)];
+    let expected = vec![
+        line_of(text, "use std::rc::Rc;"),
+        line_of(text, "use std::cell::{Cell, RefCell};"), // Cell
+        line_of(text, "use std::cell::{Cell, RefCell};"), // RefCell
+        line_of(text, "static mut EVENT_COUNTER"),
+        line_of(text, "thread_local! {"),
+        line_of(text, "shared: Rc<RefCell<Vec<u64>>>,"), // Rc
+        line_of(text, "shared: Rc<RefCell<Vec<u64>>>,"), // RefCell
+        line_of(text, "raw: *const u8,"),
+    ];
+    assert_eq!(lines_for(&files, Rule::ShardSafety), expected);
+    assert_eq!(
+        lint_files(&files).suppressed,
+        1,
+        "Scratch's Cell is suppressed"
+    );
+    assert!(findings(&files)
+        .iter()
+        .all(|(r, _)| *r == Rule::ShardSafety));
+    // mac, core and radio are also in scope...
+    for crate_name in ["mac", "core", "radio"] {
+        assert_eq!(
+            lines_for(
+                &[fixture(crate_name, "crates/x/src/shard_safety.rs", text)],
+                Rule::ShardSafety
+            )
+            .len(),
+            8
+        );
+    }
+    // ...but the experiments crate is not sharded.
+    assert!(lines_for(
+        &[fixture(
+            "experiments",
+            "crates/experiments/src/shard_safety.rs",
+            text
+        )],
+        Rule::ShardSafety
+    )
+    .is_empty());
+
+    let clean = include_str!("../fixtures/shard_safety_clean.rs");
+    assert!(findings(&[fixture(
+        "sim",
+        "crates/sim/src/shard_safety_clean.rs",
+        clean
+    )])
+    .is_empty());
+}
+
+#[test]
+fn rng_discipline_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/rng_discipline.rs");
+    let files = [fixture("sim", "crates/sim/src/rng_discipline.rs", text)];
+    let expected = vec![
+        line_of(text, "self.rng.gen::<f64>()"), // fade
+        line_of(text, "draw_slots(stage, &mut self.rng)"),
+        line_of(text, "local.gen::<f64>()"),
+    ];
+    assert_eq!(lines_for(&files, Rule::RngDiscipline), expected);
+    assert_eq!(
+        lint_files(&files).suppressed,
+        1,
+        "survival() is justified migration debt"
+    );
+    assert!(findings(&files)
+        .iter()
+        .all(|(r, _)| *r == Rule::RngDiscipline));
+    // mac and core are also in scope; experiments is not.
+    assert_eq!(
+        lines_for(
+            &[fixture("mac", "crates/mac/src/rng_discipline.rs", text)],
+            Rule::RngDiscipline
+        )
+        .len(),
+        3
+    );
+    assert!(lines_for(
+        &[fixture(
+            "experiments",
+            "crates/experiments/src/rng_discipline.rs",
+            text
+        )],
+        Rule::RngDiscipline
+    )
+    .is_empty());
+
+    let clean = include_str!("../fixtures/rng_discipline_clean.rs");
+    assert!(findings(&[fixture(
+        "sim",
+        "crates/sim/src/rng_discipline_clean.rs",
+        clean
+    )])
+    .is_empty());
+}
+
+#[test]
+fn match_exhaustive_fixture_is_fully_detected() {
+    let text = include_str!("../fixtures/match_exhaustive.rs");
+    let files = [fixture("sim", "crates/sim/src/match_exhaustive.rs", text)];
+    let expected = vec![
+        line_of(text, "_ => false,"),
+        line_of(text, "SimEvent::Retry { .. } | _ => 1,"),
+        line_of(text, "_ if fast => 1,"),
+        line_of(text, "_ => 2,"),
+    ];
+    assert_eq!(lines_for(&files, Rule::MatchExhaustive), expected);
+    assert_eq!(
+        lint_files(&files).suppressed,
+        1,
+        "projected() is a justified projection"
+    );
+    assert!(findings(&files)
+        .iter()
+        .all(|(r, _)| *r == Rule::MatchExhaustive));
+    // experiments observers are in scope; the physics crates never see
+    // SimEvent dispatches and mac is out of the observer layer.
+    assert_eq!(
+        lines_for(
+            &[fixture(
+                "experiments",
+                "crates/experiments/src/match_exhaustive.rs",
+                text
+            )],
+            Rule::MatchExhaustive
+        )
+        .len(),
+        4
+    );
+    assert!(lines_for(
+        &[fixture(
+            "radio",
+            "crates/radio/src/match_exhaustive.rs",
+            text
+        )],
+        Rule::MatchExhaustive
+    )
+    .is_empty());
+
+    let clean = include_str!("../fixtures/match_exhaustive_clean.rs");
+    assert!(findings(&[fixture(
+        "sim",
+        "crates/sim/src/match_exhaustive_clean.rs",
+        clean
+    )])
+    .is_empty());
+}
+
+#[test]
+fn suppression_budget_fixture_trips_and_respects_budgets() {
+    use comap_lint::report::{check_budgets, parse_budget, tally_allows};
+
+    let text = include_str!("../fixtures/suppression_budget.rs");
+    let files = [fixture(
+        "core",
+        "crates/core/src/suppression_budget.rs",
+        text,
+    )];
+    let outcome = lint_files(&files);
+    // All three panic-policy sites are suppressed by their directives…
+    assert!(outcome.findings.is_empty());
+    assert_eq!(outcome.suppressed, 3);
+    // …and the directive census sees exactly three allows.
+    let tally = tally_allows(&outcome, &[]);
+    assert_eq!(
+        tally
+            .get("panic-policy")
+            .copied()
+            .unwrap_or_default()
+            .total(),
+        3
+    );
+    let over = check_budgets(&tally, &[parse_budget("panic-policy=2").expect("spec")]);
+    assert_eq!(over.len(), 1);
+    assert_eq!(over[0].rule, Rule::SuppressionBudget);
+    let within = check_budgets(&tally, &[parse_budget("panic-policy=3").expect("spec")]);
+    assert!(within.is_empty());
+
+    let clean = include_str!("../fixtures/suppression_budget_clean.rs");
+    let clean_files = [fixture(
+        "core",
+        "crates/core/src/suppression_budget_clean.rs",
+        clean,
+    )];
+    let clean_outcome = lint_files(&clean_files);
+    assert!(clean_outcome.findings.is_empty());
+    let clean_tally = tally_allows(&clean_outcome, &[]);
+    assert!(check_budgets(
+        &clean_tally,
+        &[parse_budget("panic-policy=1").expect("spec")]
+    )
     .is_empty());
 }
 

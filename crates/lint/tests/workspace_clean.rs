@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use comap_lint::report::{check_budgets, parse_budget, tally_allows};
 use comap_lint::{collect_sources, lint_files};
 
 fn workspace_root() -> PathBuf {
@@ -39,6 +40,64 @@ fn workspace_is_clean_with_empty_baseline() {
     );
 }
 
+/// The rng-discipline migration allowlist holds exactly the enumerated
+/// pre-existing sequential-RNG sites, and every budget the CI gate
+/// enforces (`--max-allows` in scripts/check.sh and ci.yml) holds at
+/// HEAD. A new sequential draw — or a new wildcard `SimEvent` arm —
+/// must be *fixed*, not suppressed; suppressing it trips this test the
+/// same way it would trip CI.
+#[test]
+fn suppression_budgets_hold_and_allowlist_is_exact() {
+    let root = workspace_root();
+    let files = collect_sources(&root).expect("workspace sources readable");
+    let outcome = lint_files(&files);
+    let tally = tally_allows(&outcome, &[]);
+
+    let rng = tally.get("rng-discipline").copied().unwrap_or_default();
+    assert_eq!(
+        rng.total(),
+        5,
+        "rng-discipline allowlist must hold exactly the 5 enumerated \
+         pre-existing sites (medium fast-fade, medium hazard-survival, \
+         mac retry backoff, mac fresh backoff, sim localization noise); \
+         shrink the budget when migrating a site, never add one"
+    );
+    assert_eq!(
+        tally
+            .get("match-exhaustive")
+            .copied()
+            .unwrap_or_default()
+            .total(),
+        2,
+        "match-exhaustive projections are the two observer sinks only"
+    );
+    assert_eq!(
+        tally
+            .get("shard-safety")
+            .copied()
+            .unwrap_or_default()
+            .total(),
+        0,
+        "shard-safety has a zero budget: fix non-Send state, never suppress it"
+    );
+
+    // The exact budgets CI passes via --max-allows.
+    let budgets: Vec<_> = ["shard-safety=0", "rng-discipline=5", "match-exhaustive=2"]
+        .iter()
+        .map(|s| parse_budget(s).expect("budget spec parses"))
+        .collect();
+    let violations = check_budgets(&tally, &budgets);
+    assert!(
+        violations.is_empty(),
+        "suppression budgets exceeded:\n{}",
+        violations
+            .iter()
+            .map(|f| f.message.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 #[test]
 fn workspace_walk_covers_every_library_crate() {
     let root = workspace_root();
@@ -58,7 +117,13 @@ fn workspace_walk_covers_every_library_crate() {
     ] {
         assert!(joined.contains(needle), "walker missed {needle}");
     }
-    // Vendored code and binaries are out of scope.
+    // Vendored code, binaries and lint fixtures are out of scope —
+    // fixtures are intentionally-violating code and must never be
+    // scanned in workspace mode.
     assert!(!joined.contains("vendor/"), "walker must skip vendor/");
     assert!(!joined.contains("main.rs"), "walker must skip binaries");
+    assert!(
+        !joined.contains("fixtures/"),
+        "walker must skip lint fixtures"
+    );
 }

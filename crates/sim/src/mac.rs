@@ -806,6 +806,7 @@ impl Mac {
                     attempt: self.retries,
                     ..p
                 });
+                // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: retry backoff draws the per-MAC sequential stream; keying per (node, attempt-counter) changes every seeded artifact
                 self.backoff =
                     Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
                 if ctx.observing {
@@ -927,6 +928,7 @@ impl Mac {
                 self.pending = Some(p);
                 self.retries = 0;
                 let escalation = self.sr_retries.get(&p.dst).copied().unwrap_or(0);
+                // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: fresh-frame backoff draws the per-MAC sequential stream; migrates together with the retry draw above
                 self.backoff =
                     Backoff::draw(self.effective_policy(p.dst), escalation, &mut self.rng);
                 if ctx.observing {

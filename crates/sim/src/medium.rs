@@ -917,6 +917,7 @@ impl Medium {
         if self.fast_sigma.value() <= 0.0 {
             return self.link_quant[idx];
         }
+        // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: the fast-fade draw still consumes the sequential stream; moving it onto a (seed, link, counter) keyed stream changes every seeded artifact and lands with the batch-draw refactor
         let fast = Db::new(self.fast_sigma.value() * sample_standard_normal(&mut self.rng));
         QuantizedPower::from_milliwatts((Dbm::new(self.link_dbm[idx]) + fast).to_milliwatts())
     }
@@ -1261,6 +1262,7 @@ impl Medium {
                 lock.accrue(now);
                 self.states[n].lock = None;
                 let survive = (-lock.hazard).exp();
+                // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: the hazard-survival draw shares the medium's sequential stream; re-keying it is part of the same batch-draw refactor as the fast fade
                 if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
                     if observe {
                         let sinr_db =

@@ -21,12 +21,11 @@
 //! [`MetricsSink`](crate::metrics::MetricsSink) (per-node time series
 //! and histograms surfaced through the report).
 
-use std::cell::RefCell;
 use std::fmt;
 use std::fs::File;
 use std::io;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use comap_mac::frames::FrameKind;
 use comap_mac::time::SimTime;
@@ -808,7 +807,18 @@ pub fn parse_jsonl_line(line: &str) -> Option<(SimTime, SimEvent)> {
     Some((t, SimEvent::from_json(&value)?))
 }
 
-type SharedEvents = Rc<RefCell<Vec<(SimTime, SimEvent)>>>;
+// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>`: the sink must stay
+// `Send` so the sharded engine (ROADMAP item 1) can hand observers to
+// worker shards — the shard-safety lint forbids the single-thread pair.
+type SharedEvents = Arc<Mutex<Vec<(SimTime, SimEvent)>>>;
+
+/// Locks a shared-event buffer, recovering the data from a poisoned
+/// mutex (a panicking observer must not wedge the read side).
+fn lock_events(events: &SharedEvents) -> MutexGuard<'_, Vec<(SimTime, SimEvent)>> {
+    events
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Records events in memory for human-readable timelines.
 ///
@@ -824,10 +834,10 @@ pub struct TimelineSink {
 impl TimelineSink {
     /// Creates a sink and the handle that outlives it.
     pub fn new() -> (TimelineSink, TimelineHandle) {
-        let events: SharedEvents = Rc::new(RefCell::new(Vec::new()));
+        let events: SharedEvents = Arc::new(Mutex::new(Vec::new()));
         (
             TimelineSink {
-                events: Rc::clone(&events),
+                events: Arc::clone(&events),
             },
             TimelineHandle { events },
         )
@@ -836,7 +846,7 @@ impl TimelineSink {
 
 impl Observer for TimelineSink {
     fn on_event(&mut self, now: SimTime, event: &SimEvent) {
-        self.events.borrow_mut().push((now, *event));
+        lock_events(&self.events).push((now, *event));
     }
 }
 
@@ -849,7 +859,7 @@ pub struct TimelineHandle {
 impl TimelineHandle {
     /// All recorded events in simulation order.
     pub fn events(&self) -> Vec<(SimTime, SimEvent)> {
-        self.events.borrow().clone()
+        lock_events(&self.events).clone()
     }
 
     /// Renders the timeline, one `"<ms>  <event>"` line per event using
@@ -857,7 +867,7 @@ impl TimelineHandle {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (t, e) in self.events.borrow().iter() {
+        for (t, e) in lock_events(&self.events).iter() {
             let _ = writeln!(out, "{:>10.3} ms  {e}", t.as_secs_f64() * 1e3);
         }
         out

@@ -262,9 +262,9 @@ impl Simulator {
         let mv = self.cfg.nodes[node.0].moves[step];
         self.medium.set_position(node, mv.to);
         // The mover's localization fix carries the configured error.
-        let fix = mv
-            .to
-            .with_error(self.cfg.position_error, &mut self.move_rng);
+        let truth = mv.to;
+        // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: localization noise draws the mobility stream sequentially; moves are rare (not hot-path) but the stream still serializes against the shard plan
+        let fix = truth.with_error(self.cfg.position_error, &mut self.move_rng);
         let n = self.macs.len();
         for i in 0..n {
             if i != node.0 {
