@@ -45,9 +45,11 @@ impl Engine {
         keyed_normal(self.seed, link, counter)
     }
 
-    // OK (suppressed): justified migration debt.
+    // OK (suppressed): a justified allow is still parsed and counted —
+    // the workspace budget of 0 is what rejects it there. This fixture
+    // pins that suppression accounting keeps working.
     pub fn survival(&mut self) -> f64 {
-        // simlint: allow(rng-discipline) — migration debt tracked by ROADMAP item 2
+        // simlint: allow(rng-discipline) — fixture-only: pins suppression counting against the zero workspace budget
         self.rng.gen::<f64>()
     }
 }

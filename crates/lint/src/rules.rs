@@ -648,9 +648,10 @@ fn is_constructor(name: &str) -> bool {
 /// across every consumer of the stream, which (a) serializes the hot
 /// path and (b) cannot be split across region shards without changing
 /// results. Outside constructors and tests, hot-path code must use the
-/// counter-based keyed streams introduced in PR 7 (`link_slow_normal`'s
-/// `(seed, key, counter)` pattern). Pre-existing draws are tracked as a
-/// shrinking migration allowlist (see `--max-allows`).
+/// counter-based keyed streams (`comap_radio::stream`'s
+/// `(seed, ident, counter)` pattern, DESIGN.md §11). The migration is
+/// complete: the suppression budget is 0, so any new sequential draw
+/// is a hard failure (see `--max-allows`).
 fn check_rng_discipline(
     file: &SourceFile,
     lexed: &Lexed,
@@ -786,9 +787,9 @@ fn push_rng_finding(file: &SourceFile, line: u32, binding: &str, out: &mut Vec<F
         line,
         format!(
             "sequential `{SEQ_RNG}` draw through `{binding}` in hot-path simulation code — \
-             use a counter-based keyed stream (cf. `link_slow_normal`, DESIGN.md §8) so \
-             shards never share a mutable RNG; pre-existing sites carry \
-             `simlint: allow(rng-discipline)` as tracked migration debt"
+             use a counter-based keyed stream (`comap_radio::stream`, DESIGN.md §11) so \
+             shards never share a mutable RNG; the migration is complete and the \
+             suppression budget is 0, so new sequential draws are hard failures"
         ),
         out,
     );

@@ -271,7 +271,7 @@ fn rng_discipline_fixture_is_fully_detected() {
     assert_eq!(
         lint_files(&files).suppressed,
         1,
-        "survival() is justified migration debt"
+        "survival()'s fixture allow must be parsed and counted"
     );
     assert!(findings(&files)
         .iter()

@@ -40,12 +40,11 @@ fn workspace_is_clean_with_empty_baseline() {
     );
 }
 
-/// The rng-discipline migration allowlist holds exactly the enumerated
-/// pre-existing sequential-RNG sites, and every budget the CI gate
-/// enforces (`--max-allows` in scripts/check.sh and ci.yml) holds at
-/// HEAD. A new sequential draw — or a new wildcard `SimEvent` arm —
-/// must be *fixed*, not suppressed; suppressing it trips this test the
-/// same way it would trip CI.
+/// The rng-discipline migration is complete: the allowlist is empty,
+/// and every budget the CI gate enforces (`--max-allows` in
+/// scripts/check.sh and ci.yml) holds at HEAD. A new sequential draw —
+/// or a new wildcard `SimEvent` arm — must be *fixed*, not suppressed;
+/// suppressing it trips this test the same way it would trip CI.
 #[test]
 fn suppression_budgets_hold_and_allowlist_is_exact() {
     let root = workspace_root();
@@ -56,11 +55,11 @@ fn suppression_budgets_hold_and_allowlist_is_exact() {
     let rng = tally.get("rng-discipline").copied().unwrap_or_default();
     assert_eq!(
         rng.total(),
-        5,
-        "rng-discipline allowlist must hold exactly the 5 enumerated \
-         pre-existing sites (medium fast-fade, medium hazard-survival, \
-         mac retry backoff, mac fresh backoff, sim localization noise); \
-         shrink the budget when migrating a site, never add one"
+        0,
+        "rng-discipline budget is 0: the 5 migration-debt sites (medium \
+         fast-fade, medium hazard-survival, mac retry backoff, mac fresh \
+         backoff, sim localization noise) are all on counter-keyed \
+         streams now — fix new sequential draws, never suppress them"
     );
     assert_eq!(
         tally
@@ -82,7 +81,7 @@ fn suppression_budgets_hold_and_allowlist_is_exact() {
     );
 
     // The exact budgets CI passes via --max-allows.
-    let budgets: Vec<_> = ["shard-safety=0", "rng-discipline=5", "match-exhaustive=2"]
+    let budgets: Vec<_> = ["shard-safety=0", "rng-discipline=0", "match-exhaustive=2"]
         .iter()
         .map(|s| parse_budget(s).expect("budget spec parses"))
         .collect();

@@ -13,7 +13,9 @@
 //! * [`math`] — `erf`, the standard normal CDF `Φ` and its inverse,
 //! * [`pathloss`] — Friis free-space reference and [`LogNormalShadowing`],
 //! * [`prr`] — eq. (3) `PRR` and eq. (4) `Pr{P_r < T_cs}`,
-//! * [`rates`] — 802.11 (HR/DSSS and ERP-OFDM) bit rates with minimum SINR.
+//! * [`rates`] — 802.11 (HR/DSSS and ERP-OFDM) bit rates with minimum SINR,
+//! * [`stream`] — counter-based keyed random streams (SplitMix64), the
+//!   order-independent draw discipline every per-event sample follows.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod math;
 pub mod pathloss;
 pub mod prr;
 pub mod rates;
+pub mod stream;
 pub mod units;
 
 pub use geom::Position;

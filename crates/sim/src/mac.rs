@@ -20,7 +20,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
+use comap_radio::stream::CounterRng;
 
 use comap_core::protocol::Protocol;
 use comap_core::scheduler::{EtAction, EtScheduler};
@@ -292,7 +292,12 @@ pub struct MacConfig {
 #[derive(Debug)]
 pub struct Mac {
     cfg: MacConfig,
-    rng: StdRng,
+    /// Seed of this MAC's counter-keyed backoff streams: every draw is
+    /// a pure function of `(seed, node id, attempt counter)`.
+    seed: u64,
+    /// Monotone count of backoff draws taken — the counter half of the
+    /// stream key. Never reset, so no key is ever reused.
+    backoff_ctr: u64,
     proto: Option<Protocol<NodeId>>,
 
     flows: Vec<Flow>,
@@ -339,11 +344,13 @@ pub struct Mac {
 
 impl Mac {
     /// Creates the MAC. `proto` must be `Some` when any CO-MAP feature
-    /// needing positions is enabled.
-    pub fn new(cfg: MacConfig, proto: Option<Protocol<NodeId>>, rng: StdRng) -> Self {
+    /// needing positions is enabled. `seed` roots the counter-keyed
+    /// backoff streams.
+    pub fn new(cfg: MacConfig, proto: Option<Protocol<NodeId>>, seed: u64) -> Self {
         Mac {
             cfg,
-            rng,
+            seed,
+            backoff_ctr: 0,
             proto,
             flows: Vec::new(),
             flow_rr: 0,
@@ -806,9 +813,7 @@ impl Mac {
                     attempt: self.retries,
                     ..p
                 });
-                // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: retry backoff draws the per-MAC sequential stream; keying per (node, attempt-counter) changes every seeded artifact
-                self.backoff =
-                    Backoff::draw(self.effective_policy(p.dst), self.retries, &mut self.rng);
+                self.backoff = self.draw_backoff(p.dst, self.retries);
                 if ctx.observing {
                     out.push(MacAction::Emit(SimEvent::Retry {
                         node: self.cfg.id,
@@ -928,9 +933,7 @@ impl Mac {
                 self.pending = Some(p);
                 self.retries = 0;
                 let escalation = self.sr_retries.get(&p.dst).copied().unwrap_or(0);
-                // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: fresh-frame backoff draws the per-MAC sequential stream; migrates together with the retry draw above
-                self.backoff =
-                    Backoff::draw(self.effective_policy(p.dst), escalation, &mut self.rng);
+                self.backoff = self.draw_backoff(p.dst, escalation);
                 if ctx.observing {
                     out.push(MacAction::Emit(SimEvent::BackoffDraw {
                         node: self.cfg.id,
@@ -1082,6 +1085,15 @@ impl Mac {
 
     /// Backoff policy for a destination: the adaptation table's constant
     /// window when installed.
+    /// One backoff draw from this MAC's counter-keyed stream: a pure
+    /// function of `(seed, node id, draw counter)`, so the slot count
+    /// is independent of anything another node — or the medium — draws.
+    fn draw_backoff(&mut self, dst: NodeId, stage: u32) -> Backoff {
+        let rng = &mut CounterRng::from_key(self.seed, self.cfg.id.0 as u64, self.backoff_ctr);
+        self.backoff_ctr += 1;
+        Backoff::draw(self.effective_policy(dst), stage, rng)
+    }
+
     fn effective_policy(&self, dst: NodeId) -> BackoffPolicy {
         if self.cfg.features.ht_adaptation {
             if let Some(s) = self.adapted.get(&dst) {

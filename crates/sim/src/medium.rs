@@ -2,7 +2,11 @@
 //!
 //! Every transmission draws one shadowing sample per receiver (paper
 //! eq. 1); that same sample governs both carrier sensing and decoding of
-//! the frame, so the channel is self-consistent for its duration.
+//! the frame, so the channel is self-consistent for its duration. Every
+//! draw — slow fade, fast fade, hazard survival — comes from a
+//! counter-based keyed stream ([`comap_radio::stream`]): the medium
+//! holds **no mutable RNG state at all**, so no sweep order, backend or
+//! future shard plan can perturb a single sample.
 //!
 //! Reception follows the SINR-threshold capture model: a receiver locks
 //! onto the first frame whose SINR against the current ambient power
@@ -58,15 +62,25 @@
 //! positions and epochs: the slow-fade draw comes from a counter-based
 //! stream keyed by `(seed, min(i, j), max(i, j), epoch sum)`, so the
 //! struct-of-arrays link cache can be refilled lazily, on the first
-//! lookup that sees a stale epoch tag, without perturbing the main RNG
-//! stream (which carries only fast fades and survival draws, in event
-//! order — identically under either backend). See DESIGN.md §8.
+//! lookup that sees a stale epoch tag — in any order, under any
+//! backend. See DESIGN.md §8.
+//!
+//! # Per-frame stream discipline
+//!
+//! Fast fades are keyed by `(fade seed, tx → rx, frame counter)` and
+//! hazard-survival draws by `(hazard seed, tx → rx, frame counter)`,
+//! where the frame counter is the transmission's never-reused [`TxId`]
+//! generation. [`Medium::begin`] therefore draws the whole
+//! relevant-receiver sweep as one branch-light batched pass over the
+//! struct-of-arrays link row — there is no sequential-RNG data
+//! dependence left to order it. See DESIGN.md §11.
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use comap_mac::time::SimTime;
-use comap_radio::pathloss::{sample_standard_normal, LogNormalShadowing};
+use comap_radio::pathloss::LogNormalShadowing;
+use comap_radio::stream::{keyed_state, link_key, mix64, normal_from_state, uniform_from_state};
 use comap_radio::units::{Db, Dbm, Meters, MilliWatts, QuantizedPower};
 use comap_radio::{Position, NOISE_FLOOR};
 
@@ -214,13 +228,15 @@ const FAST_SIGMA_DB: f64 = 1.5;
 /// the floor at −120 dBm for the −95 dBm noise floor.
 pub const RELEVANCE_MARGIN_DB: f64 = 25.0;
 
-/// Slow-fade draws are clamped to this many standard deviations. The
-/// clip is a modeling choice (one-sided mass beyond 6σ is ≈ 1e-9, far
-/// below anything the simulator can resolve) that buys a hard geometric
+/// Slow-fade draws are clamped to this many standard deviations — the
+/// shared clamp of every keyed normal stream
+/// ([`comap_radio::stream::NORMAL_CLAMP_SIGMA`]). The clip is a
+/// modeling choice (one-sided mass beyond 6σ is ≈ 1e-9, far below
+/// anything the simulator can resolve) that buys a hard geometric
 /// bound: beyond [`Medium::overflow_skip`] no draw can lift a link over
 /// the relevance floor, so the per-move overflow scan rejects far nodes
 /// on a squared-distance comparison alone.
-const SLOW_CLAMP_SIGMA: f64 = 6.0;
+const SLOW_CLAMP_SIGMA: f64 = comap_radio::stream::NORMAL_CLAMP_SIGMA;
 
 /// Default position quantum in meters (see
 /// [`Medium::with_quantization`]): micro-moves inside a 1 m cell change
@@ -249,33 +265,21 @@ impl TxId {
     }
 }
 
-/// SplitMix64 finalizer: full-avalanche 64-bit mixing.
-#[inline]
-fn mix64(mut x: u64) -> u64 {
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// One standard-normal slow-fade draw for the unordered link `{lo, hi}`
-/// at position-epoch sum `esum` — a counter-based stream (SplitMix64
-/// into Box–Muller), so the draw is a pure function of its key: lazy
-/// cache refills can happen in any order, under any backend, without
-/// consuming or reordering the medium's sequential RNG stream. The
-/// result is clamped to ±[`SLOW_CLAMP_SIGMA`].
+/// at position-epoch sum `esum` — a counter-based stream, so the draw
+/// is a pure function of its key: lazy cache refills can happen in any
+/// order, under any backend. The result is clamped to
+/// ±[`SLOW_CLAMP_SIGMA`].
+///
+/// The key fold is the original mobility-rework one (no seed pre-mix),
+/// kept verbatim so every slow-fade realization shipped since then
+/// stays bit-identical. The pre-mix that [`keyed_state`] adds guards
+/// structured *cross-seed* aliases; the slow-fade stream has exactly
+/// one seed, drawn at random, so the legacy fold is sound here — and
+/// only here. New streams must use [`keyed_state`].
 fn link_slow_normal(seed: u64, lo: u32, hi: u32, esum: u64) -> f64 {
-    let mut h = seed ^ 0x5851_F42D_4C95_7F2D;
-    h = mix64(h ^ (((lo as u64) << 32) | (hi as u64)));
-    h = mix64(h ^ esum);
-    let a = mix64(h);
-    let b = mix64(h.wrapping_add(0x9E37_79B9_7F4A_7C15));
-    // Top 53 bits, offset half an ulp: u1 strictly inside (0, 1), so the
-    // Box–Muller radius is always finite and no rejection loop is
-    // needed (the stream stays exactly two mixes per key).
-    let u1 = ((a >> 11) as f64 + 0.5) * (1.0 / 9_007_199_254_740_992.0);
-    let u2 = (b >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
-    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-    z.clamp(-SLOW_CLAMP_SIGMA, SLOW_CLAMP_SIGMA)
+    let h = mix64((seed ^ 0x5851_F42D_4C95_7F2D) ^ link_key(lo, hi));
+    normal_from_state(mix64(h ^ esum))
 }
 
 /// Deterministic counters of the link cache and the culling layer.
@@ -430,13 +434,19 @@ pub struct Medium {
     live: usize,
     /// Generation counter feeding new [`TxId`]s.
     next_gen: u64,
-    /// Sequential stream for fast fades and survival draws only — both
-    /// consumed in event order, identically under either backend. Slow
-    /// fades never touch it (see [`link_slow_normal`]).
-    rng: StdRng,
     /// Seed of the counter-based per-link slow-fade streams, drawn once
-    /// from the sequential stream at construction.
+    /// from the construction stream. The medium holds no mutable RNG —
+    /// every draw after construction is a pure function of one of these
+    /// three seeds and a stable key.
     link_seed: u64,
+    /// Seed of the per-frame fast-fade streams, keyed
+    /// `(fade_seed, tx → rx, frame counter)`.
+    fade_seed: u64,
+    /// Seed of the hazard-survival streams, keyed
+    /// `(hazard_seed, tx → rx, frame counter)`. Distinct from
+    /// [`Medium::fade_seed`] so the two draws of the same frame and
+    /// link are statistically unrelated.
+    hazard_seed: u64,
     /// Position epoch per node, bumped by every applied (non-coalesced)
     /// move. A link is fresh iff its stored tag equals the sum of its
     /// endpoints' epochs — the sum strictly increases on any move, so a
@@ -566,7 +576,12 @@ impl Medium {
         } else {
             relevance_range.value()
         };
+        // Seed-derivation order matters for artifact stability: the
+        // slow-fade seed draws first, so re-keying the per-frame
+        // streams never perturbed the per-link slow fades.
         let link_seed = rng.gen::<u64>();
+        let fade_seed = rng.gen::<u64>();
+        let hazard_seed = rng.gen::<u64>();
         let q = quantum.value().max(0.0);
         let (mut qx, mut qy) = (Vec::new(), Vec::new());
         if q > 0.0 {
@@ -591,8 +606,9 @@ impl Medium {
             free_slots: Vec::new(),
             live: 0,
             next_gen: 0,
-            rng,
             link_seed,
+            fade_seed,
+            hazard_seed,
             node_epoch: vec![0; n],
             link_tag: vec![STALE; n * n],
             link_dbm: vec![f64::NEG_INFINITY; n * n],
@@ -905,21 +921,20 @@ impl Medium {
             .collect()
     }
 
-    /// One received-power sample for the link `src → dst`: the cached
-    /// mean link power plus fresh fast fading (skipped entirely when the
-    /// fading deviation is zero — the cache already holds the exact
-    /// quantized power). The entry must be fresh (see
-    /// [`Medium::ensure_fresh`]).
-    fn sample_link_power(&mut self, src: usize, dst: usize) -> QuantizedPower {
-        let idx = src * self.positions.len() + dst;
-        self.counters.cache_lookups += 1;
-        // A fading deviation is non-negative; zero disables fast fading.
-        if self.fast_sigma.value() <= 0.0 {
-            return self.link_quant[idx];
+    /// Pre-warms `node`'s outgoing link-cache row: freshens every
+    /// directed entry `node → j` now instead of lazily at the next
+    /// `begin()`. Fills are pure functions of the position epochs, so a
+    /// warmed run produces bit-identical powers, events and reports to a
+    /// lazy one — only the `cache_recomputes` timing moves. The
+    /// differential harness drives both fill orders through this hook;
+    /// a sharded engine can use it to warm a shard before its first
+    /// frame.
+    pub fn warm_links(&mut self, node: NodeId) {
+        for j in 0..self.positions.len() {
+            if j != node.0 {
+                self.ensure_fresh(node.0, j);
+            }
         }
-        // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: the fast-fade draw still consumes the sequential stream; moving it onto a (seed, link, counter) keyed stream changes every seeded artifact and lands with the batch-draw refactor
-        let fast = Db::new(self.fast_sigma.value() * sample_standard_normal(&mut self.rng));
-        QuantizedPower::from_milliwatts((Dbm::new(self.link_dbm[idx]) + fast).to_milliwatts())
     }
 
     /// Total ambient power currently sensed at `node` (noise floor plus
@@ -1023,27 +1038,56 @@ impl Medium {
     }
 
     /// Draws the per-receiver powers of a transmission from `src` under
-    /// the backend in force. Both arms freshen and draw fading for the
-    /// same relevant receivers in the same ascending order, so the
-    /// sequential RNG stream is backend-independent — and because slow
-    /// fades live in counter-based streams, lazy fills consume nothing
-    /// from it at all.
-    fn draw_powers(&mut self, src: usize) -> PowerMap {
+    /// the backend in force, keyed by the frame counter. Both arms run
+    /// the same two-phase shape: freshen the row, then one branch-light
+    /// batched sweep over the SoA link arrays. Every fade is a pure
+    /// function of `(fade_seed, src → rx, frame_ctr)`, so the sweep
+    /// order — and the backend — cannot change a single value.
+    fn draw_powers(&mut self, src: usize, frame_ctr: u64) -> PowerMap {
         let n = self.positions.len();
+        let sigma = self.fast_sigma.value();
         match self.backend {
             MediumBackend::Exhaustive => {
-                let mut v = vec![QuantizedPower::ZERO; n];
                 self.counters.cull_candidates += (n - 1) as u64;
-                for (j, slot) in v.iter_mut().enumerate() {
-                    if j == src {
-                        continue;
-                    }
-                    self.ensure_fresh(src, j);
-                    if self.link_relevant[src * n + j] {
-                        self.counters.cull_relevant += 1;
-                        *slot = self.sample_link_power(src, j);
+                for j in 0..n {
+                    if j != src {
+                        self.ensure_fresh(src, j);
                     }
                 }
+                // Batched sweep. The diagonal entry is never filled, so
+                // `link_relevant[src*n+src]` is false and the sweep
+                // needs no self-exclusion branch.
+                let mut v = vec![QuantizedPower::ZERO; n];
+                let mut relevant = 0u64;
+                if sigma <= 0.0 {
+                    // A fading deviation is non-negative; zero disables
+                    // fast fading and the cache holds the exact power.
+                    for (j, slot) in v.iter_mut().enumerate() {
+                        let idx = src * n + j;
+                        if self.link_relevant[idx] {
+                            relevant += 1;
+                            *slot = self.link_quant[idx];
+                        }
+                    }
+                } else {
+                    for (j, slot) in v.iter_mut().enumerate() {
+                        let idx = src * n + j;
+                        if self.link_relevant[idx] {
+                            relevant += 1;
+                            let h = keyed_state(
+                                self.fade_seed,
+                                link_key(src as u32, j as u32),
+                                frame_ctr,
+                            );
+                            let fast = Db::new(sigma * normal_from_state(h));
+                            *slot = QuantizedPower::from_milliwatts(
+                                (Dbm::new(self.link_dbm[idx]) + fast).to_milliwatts(),
+                            );
+                        }
+                    }
+                }
+                self.counters.cull_relevant += relevant;
+                self.counters.cache_lookups += relevant;
                 PowerMap::Dense(v)
             }
             MediumBackend::Culled => {
@@ -1055,15 +1099,35 @@ impl Medium {
                 targets.dedup();
                 targets.retain(|&j| j as usize != src);
                 self.counters.cull_candidates += targets.len() as u64;
-                let mut v = Vec::with_capacity(targets.len());
                 for &j in &targets {
-                    let j = j as usize;
-                    self.ensure_fresh(src, j);
-                    if self.link_relevant[src * n + j] {
-                        self.counters.cull_relevant += 1;
-                        v.push((j as u32, self.sample_link_power(src, j)));
+                    self.ensure_fresh(src, j as usize);
+                }
+                let mut v = Vec::with_capacity(targets.len());
+                if sigma <= 0.0 {
+                    for &j in &targets {
+                        let idx = src * n + j as usize;
+                        if self.link_relevant[idx] {
+                            v.push((j, self.link_quant[idx]));
+                        }
+                    }
+                } else {
+                    for &j in &targets {
+                        let idx = src * n + j as usize;
+                        if self.link_relevant[idx] {
+                            let h = keyed_state(self.fade_seed, link_key(src as u32, j), frame_ctr);
+                            let fast = Db::new(sigma * normal_from_state(h));
+                            v.push((
+                                j,
+                                QuantizedPower::from_milliwatts(
+                                    (Dbm::new(self.link_dbm[idx]) + fast).to_milliwatts(),
+                                ),
+                            ));
+                        }
                     }
                 }
+                let relevant = v.len() as u64;
+                self.counters.cull_relevant += relevant;
+                self.counters.cache_lookups += relevant;
                 self.scratch = targets;
                 PowerMap::Sparse(v)
             }
@@ -1177,8 +1241,11 @@ impl Medium {
         );
 
         // One fading draw per relevant receiver, consistent for the
-        // frame's whole lifetime.
-        let powers = self.draw_powers(src);
+        // frame's whole lifetime, keyed by the generation this frame is
+        // about to take (`allocate` embeds the same value in the TxId,
+        // which is how `receive_end` recovers the hazard key).
+        let frame_ctr = self.next_gen;
+        let powers = self.draw_powers(src, frame_ctr);
 
         let id = self.allocate(ActiveTx {
             id: TxId(0),
@@ -1262,8 +1329,15 @@ impl Medium {
                 lock.accrue(now);
                 self.states[n].lock = None;
                 let survive = (-lock.hazard).exp();
-                // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: the hazard-survival draw shares the medium's sequential stream; re-keying it is part of the same batch-draw refactor as the fast fade
-                if survive >= 1.0 - 1e-12 || self.rng.gen::<f64>() < survive {
+                // The survival draw is keyed by the frame's generation
+                // (recovered from the TxId) and the directed link, so it
+                // is independent of the order transmissions resolve in.
+                let draw = uniform_from_state(keyed_state(
+                    self.hazard_seed,
+                    link_key(frame.src.0 as u32, n as u32),
+                    id.0 >> SLOT_BITS,
+                ));
+                if survive >= 1.0 - 1e-12 || draw < survive {
                     if observe {
                         let sinr_db =
                             10.0 * (lock.signal.value() / lock.interference.value()).log10();

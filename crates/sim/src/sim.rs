@@ -8,6 +8,7 @@ use rand::SeedableRng;
 
 use comap_core::protocol::Protocol;
 use comap_mac::time::{SimDuration, SimTime};
+use comap_radio::stream::CounterRng;
 use comap_radio::Position;
 
 use crate::config::SimConfig;
@@ -34,7 +35,11 @@ pub struct Simulator {
     /// `true` once any sink is attached — the single gate every
     /// emission site checks.
     observing: bool,
-    move_rng: StdRng,
+    /// Seed of the counter-keyed localization-noise streams.
+    move_seed: u64,
+    /// Per-node move-epoch counters: the counter half of the
+    /// localization-noise key, bumped once per applied move.
+    move_epoch: Vec<u64>,
 }
 
 impl fmt::Debug for Simulator {
@@ -105,12 +110,10 @@ impl Simulator {
                 arq_window: cfg.protocol.arq_window,
                 preamble_cs: cfg.preamble_cs,
             };
-            let mac_rng = StdRng::seed_from_u64(
-                cfg.seed
-                    .wrapping_mul(0x100_0000_01B3)
-                    .wrapping_add(i as u64),
-            );
-            let mut mac = Mac::new(mac_cfg, proto, mac_rng);
+            // Every MAC shares one backoff seed: per-node streams are
+            // separated by the identity half of the key (the node id),
+            // not by per-node seed arithmetic.
+            let mut mac = Mac::new(mac_cfg, proto, cfg.seed ^ 0x243F_6A88_85A3_08D3);
             for flow in cfg.flows_from(id) {
                 mac.add_flow(flow.dst, flow.traffic);
             }
@@ -131,7 +134,7 @@ impl Simulator {
             }
         }
 
-        let move_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBB67_AE85_84CA_A73B);
+        let move_seed = cfg.seed ^ 0xBB67_AE85_84CA_A73B;
         Simulator {
             cfg,
             medium,
@@ -143,7 +146,8 @@ impl Simulator {
             report: SimReport::default(),
             sinks: Vec::new(),
             observing: false,
-            move_rng,
+            move_seed,
+            move_epoch: vec![0; n],
         }
     }
 
@@ -155,6 +159,17 @@ impl Simulator {
         self.observing = true;
         self.medium.enable_observation(self.cfg.protocol.t_cs);
         self.sinks.push(sink);
+    }
+
+    /// Pre-warms every node's outgoing link-cache row before the run
+    /// (see [`Medium::warm_links`]). Purely an evaluation-order change:
+    /// cache fills are deterministic functions of the position epochs,
+    /// so a warmed run is bit-identical to a lazy one — the
+    /// differential harness drives both fill orders through this hook.
+    pub fn warm_link_cache(&mut self) {
+        for i in 0..self.macs.len() {
+            self.medium.warm_links(NodeId(i));
+        }
     }
 
     /// Runs the simulation for `duration` of simulated time and returns
@@ -261,10 +276,14 @@ impl Simulator {
     fn apply_move(&mut self, node: NodeId, step: usize) {
         let mv = self.cfg.nodes[node.0].moves[step];
         self.medium.set_position(node, mv.to);
-        // The mover's localization fix carries the configured error.
+        // The mover's localization fix carries the configured error,
+        // drawn from a stream keyed `(move_seed, node, move epoch)` —
+        // independent of every other node's mobility schedule.
         let truth = mv.to;
-        // simlint: allow(rng-discipline) — ROADMAP item 2 migration debt: localization noise draws the mobility stream sequentially; moves are rare (not hot-path) but the stream still serializes against the shard plan
-        let fix = truth.with_error(self.cfg.position_error, &mut self.move_rng);
+        self.move_epoch[node.0] += 1;
+        let mut noise =
+            CounterRng::from_key(self.move_seed, node.0 as u64, self.move_epoch[node.0]);
+        let fix = truth.with_error(self.cfg.position_error, &mut noise);
         let n = self.macs.len();
         for i in 0..n {
             if i != node.0 {

@@ -18,14 +18,13 @@ echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> simlint --workspace (static invariants, hard gate)"
-# Suppression budgets ratchet the migration allowlists: rng-discipline
-# covers exactly the five pre-existing sequential-draw sites (ROADMAP
-# item 2 debt) and match-exhaustive the two deliberate sink
-# projections. New suppressions fail this gate; shrink the budget when
-# a site is migrated.
+# Suppression budgets: the rng-discipline migration is complete (all
+# five sequential-draw sites are on counter-keyed streams, DESIGN.md
+# §11) so its budget is 0 — any new sequential draw is a hard failure.
+# match-exhaustive keeps its two deliberate sink projections.
 cargo run -q -p comap-lint --bin simlint -- --workspace \
     --max-allows shard-safety=0 \
-    --max-allows rng-discipline=5 \
+    --max-allows rng-discipline=0 \
     --max-allows match-exhaustive=2 \
     --json target/simlint.json
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Structural-diff check for regenerated golden traces.
+#
+# A golden regen that only re-keys random draws (fades, backoff slots,
+# hazard survivals) changes timings and values but must not change the
+# simulator's structure. Per trace, the per-type event counts of the
+# working-tree file are compared against the committed version at the
+# given git ref (default HEAD):
+#
+#   * an event type that never occurred at the base ref appearing now
+#     FAILS — a re-key cannot invent machinery;
+#   * a type with more than RARE_MAX occurrences at the base ref
+#     disappearing FAILS — a re-key can flip a tail event (a single
+#     hazard drop, say) in or out of a short trace, but it cannot
+#     plausibly erase a common one;
+#   * a type with at most RARE_MAX base occurrences disappearing is
+#     tolerated with a NOTE, because that is exactly the tail-flip a
+#     re-key is allowed to cause.
+#
+# Usage: scripts/check_golden_structure.sh [base-ref]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base_ref="${1:-HEAD}"
+RARE_MAX=3
+status=0
+
+counts() {
+  # Every trace line tags its event type:
+  # {"t_ns":...,"type":"tx_begin",...} — count per type.
+  sed -n 's/.*"type":"\([a-z0-9_]*\)".*/\1/p' | sort | uniq -c \
+    | awk '{print $2, $1}'
+}
+
+for trace in tests/golden/*.jsonl; do
+  base="$(git show "${base_ref}:${trace}" 2>/dev/null | counts)" || {
+    echo "NOTE: ${trace} does not exist at ${base_ref}; skipping"
+    continue
+  }
+  new="$(counts < "${trace}")"
+  if [ -z "${new}" ]; then
+    echo "FAIL: ${trace} yielded no event types — extraction broken?"
+    status=1
+    continue
+  fi
+
+  trace_ok=1
+  # Types present now but absent at base: always structural.
+  while read -r ty _; do
+    if ! grep -q "^${ty} " <<<"${base}"; then
+      echo "FAIL: ${trace} gained event type '${ty}' vs ${base_ref}"
+      trace_ok=0
+    fi
+  done <<<"${new}"
+  # Types present at base but absent now: structural unless rare tail.
+  while read -r ty n; do
+    if ! grep -q "^${ty} " <<<"${new}"; then
+      if [ "${n}" -le "${RARE_MAX}" ]; then
+        echo "NOTE: ${trace} lost rare tail type '${ty}' (${n} at ${base_ref}) — tolerated"
+      else
+        echo "FAIL: ${trace} lost event type '${ty}' (${n} at ${base_ref})"
+        trace_ok=0
+      fi
+    fi
+  done <<<"${base}"
+
+  if [ "${trace_ok}" = 1 ]; then
+    echo "OK: ${trace} event-type structure unchanged vs ${base_ref}"
+  else
+    status=1
+  fi
+done
+
+exit "${status}"
